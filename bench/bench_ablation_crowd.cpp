@@ -1,0 +1,183 @@
+// Ablation A5: crowd-sourced signature repository dynamics.
+//
+// Two experiments behind §4.1's design choices:
+//   (a) herd immunity — N deployments of the same SKU; an attack wave
+//       sweeps them in random order; the first victims observe and
+//       publish the signature; once accepted, subscribers block it.
+//       Protected fraction vs voting quorum.
+//   (b) poisoning resistance — adversarial contributors flood the repo
+//       with overbroad / bogus rules and upvote each other. Acceptance
+//       rate of bad rules vs quorum, with and without reputation.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "learn/crowd.h"
+
+using namespace iotsec;
+
+namespace {
+
+constexpr char kAttackSig[] =
+    "block udp any any -> any 5009 (msg:\"wemo backdoor wave\"; sid:9200; "
+    "iot_backdoor; )";
+
+struct HerdResult {
+  int infected = 0;
+  int protected_count = 0;
+};
+
+/// Simulates an attack wave over `homes` deployments with `quorum`.
+/// Every compromised home publishes (once) and votes; homes that have
+/// received an accepted signature before the wave reaches them survive.
+HerdResult RunHerd(int homes, double quorum, std::uint64_t seed) {
+  learn::CrowdRepo::Config config;
+  config.quorum = quorum;
+  learn::CrowdRepo repo(config);
+
+  std::vector<bool> has_signature(static_cast<std::size_t>(homes), false);
+  for (int h = 0; h < homes; ++h) {
+    repo.Subscribe("Wemo-Insight", "home-" + std::to_string(h),
+                   [&has_signature, h](const learn::SharedSignature&) {
+                     has_signature[static_cast<std::size_t>(h)] = true;
+                   });
+  }
+
+  Rng rng(seed);
+  const auto order = rng.Permutation(static_cast<std::size_t>(homes));
+  HerdResult result;
+  std::uint64_t sig_id = 0;
+  bool published = false;
+  for (const auto idx : order) {
+    if (has_signature[idx]) {
+      ++result.protected_count;
+      // Survivors corroborate: their vote pushes the signature along.
+      continue;
+    }
+    ++result.infected;
+    // The victim publishes (first victim) and votes.
+    if (!published) {
+      learn::SignatureReport report;
+      report.sku = "Wemo-Insight";
+      report.rule_text = kAttackSig;
+      report.contributor = "home-" + std::to_string(idx);
+      sig_id = repo.Publish(report).id;
+      published = true;
+    }
+    repo.Vote(sig_id, "home-" + std::to_string(idx), true);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A5: crowd repository dynamics ===\n");
+
+  // ---------------- (a) herd immunity vs quorum.
+  std::printf("\n-- (a) herd immunity: 200 homes, attack wave, vs quorum --\n");
+  std::printf("%-10s %-12s %-12s %-12s\n", "quorum", "infected",
+              "protected", "protected%");
+  bool shape = true;
+  int protected_at_low = 0;
+  int protected_at_high = 0;
+  for (const double quorum : {1.0, 2.0, 5.0, 15.0, 50.0}) {
+    int infected = 0;
+    int protected_count = 0;
+    const int kTrials = 5;
+    for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+      const auto r = RunHerd(200, quorum, seed);
+      infected += r.infected;
+      protected_count += r.protected_count;
+    }
+    std::printf("%-10.0f %-12d %-12d %-12.1f\n", quorum, infected / kTrials,
+                protected_count / kTrials,
+                100.0 * protected_count / (infected + protected_count));
+    if (quorum == 2.0) protected_at_low = protected_count;
+    if (quorum == 50.0) protected_at_high = protected_count;
+  }
+  std::printf("(low quorum = fast acceptance = most of the herd protected "
+              "after a handful of victims;\n a high quorum trades exposure "
+              "for confidence)\n");
+  if (protected_at_low <= protected_at_high) shape = false;
+
+  // ---------------- (b) poisoning resistance.
+  std::printf("\n-- (b) poisoning: 10 sybils push bogus rules --\n");
+  std::printf("%-22s %-14s %-14s\n", "configuration", "bad accepted",
+              "good accepted");
+  for (const bool with_reputation_history : {false, true}) {
+    learn::CrowdRepo::Config config;
+    config.quorum = 3.0;
+    learn::CrowdRepo repo(config);
+
+    if (with_reputation_history) {
+      // The sybils previously voted for signatures that proved wrong;
+      // honest users voted for ones that proved right.
+      for (int round = 0; round < 6; ++round) {
+        learn::SignatureReport r;
+        r.sku = "History";
+        r.rule_text = kAttackSig;
+        const auto id = repo.Publish(r).id;
+        for (int s = 0; s < 10; ++s) {
+          repo.Vote(id, "sybil-" + std::to_string(s), true);
+        }
+        repo.ReportOutcome(id, /*was_correct=*/false);
+        learn::SignatureReport g;
+        g.sku = "History";
+        g.rule_text = kAttackSig;
+        const auto gid = repo.Publish(g).id;
+        for (int u = 0; u < 6; ++u) {
+          repo.Vote(gid, "honest-" + std::to_string(u), true);
+        }
+        repo.ReportOutcome(gid, /*was_correct=*/true);
+      }
+    }
+
+    // Attack phase: sybils publish 20 bogus (but parseable, non-overbroad)
+    // rules and upvote each other; honest users publish one good rule.
+    int bad_accepted = 0;
+    for (int i = 0; i < 20; ++i) {
+      learn::SignatureReport bogus;
+      bogus.sku = "Wemo-Insight";
+      bogus.rule_text =
+          "block udp any any -> any 5009 (msg:\"bogus " + std::to_string(i) +
+          "\"; sid:" + std::to_string(8000 + i) + "; iotcmd:turn_off; )";
+      const auto id = repo.Publish(bogus).id;
+      for (int s = 0; s < 10; ++s) {
+        repo.Vote(id, "sybil-" + std::to_string(s), true);
+      }
+      const auto* sig = repo.Find(id);
+      if (sig != nullptr &&
+          sig->status == learn::SignatureStatus::kAccepted) {
+        ++bad_accepted;
+      }
+    }
+    learn::SignatureReport good;
+    good.sku = "Wemo-Insight";
+    good.rule_text = kAttackSig;
+    const auto gid = repo.Publish(good).id;
+    for (int u = 0; u < 6; ++u) {
+      repo.Vote(gid, "honest-" + std::to_string(u), true);
+    }
+    const bool good_accepted =
+        repo.Find(gid)->status == learn::SignatureStatus::kAccepted;
+
+    std::printf("%-22s %-14s %-14s\n",
+                with_reputation_history ? "quorum+reputation" : "quorum only",
+                (std::to_string(bad_accepted) + "/20").c_str(),
+                good_accepted ? "yes" : "NO");
+    if (with_reputation_history && (bad_accepted > 0 || !good_accepted)) {
+      shape = false;
+    }
+    if (!with_reputation_history && bad_accepted == 0) {
+      // Without reputation, 10 fresh sybils at weight .5 = 5.0 > quorum 3:
+      // poisoning succeeds — that failure is the point of the ablation.
+      shape = false;
+    }
+  }
+  std::printf("(without reputation, ten fresh sybils out-vote the quorum; "
+              "with Beta reputation their\n weight collapses after the "
+              "first bad outcomes and honest signatures still land)\n");
+
+  std::printf("\nshape check vs paper: %s\n", shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Ablation A2: signature-engine scaling (google-benchmark).
+//
+// The per-device µmbox design only works if signature matching stays
+// cheap as the crowd-sourced ruleset grows. Aho-Corasick's scan cost is
+// independent of pattern count; the naive per-pattern scan degrades
+// linearly. Both are measured over ruleset sizes 8..2048 on a realistic
+// mixed payload.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "sig/aho_corasick.h"
+
+using namespace iotsec;
+
+namespace {
+
+/// Builds `n` random 6-14 byte patterns over a printable alphabet and a
+/// 1400-byte payload salted with a handful of matches.
+struct Workload {
+  std::vector<std::string> patterns;
+  Bytes payload;
+
+  explicit Workload(std::size_t n) {
+    Rng rng(n * 977 + 13);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto len = 6 + rng.NextBelow(9);
+      std::string p;
+      for (std::size_t j = 0; j < len; ++j) {
+        p += static_cast<char>('a' + rng.NextBelow(26));
+      }
+      patterns.push_back(std::move(p));
+    }
+    for (int i = 0; i < 1400; ++i) {
+      payload.push_back(
+          static_cast<std::uint8_t>('a' + rng.NextBelow(26)));
+    }
+    // Plant three real matches so the hit path is exercised.
+    for (int k = 0; k < 3 && !patterns.empty(); ++k) {
+      const auto& p = patterns[rng.NextBelow(patterns.size())];
+      const auto off = rng.NextBelow(payload.size() - p.size());
+      std::copy(p.begin(), p.end(), payload.begin() + static_cast<long>(off));
+    }
+  }
+};
+
+void BM_AhoCorasick(benchmark::State& state) {
+  Workload w(static_cast<std::size_t>(state.range(0)));
+  sig::AhoCorasick ac;
+  for (const auto& p : w.patterns) ac.AddPattern(p);
+  ac.Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ac.FindAll(w.payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.payload.size()));
+}
+
+void BM_NaiveScan(benchmark::State& state) {
+  Workload w(static_cast<std::size_t>(state.range(0)));
+  sig::NaiveMatcher naive;
+  for (const auto& p : w.patterns) naive.AddPattern(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive.FindAll(w.payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.payload.size()));
+}
+
+void BM_AhoCorasickBuild(benchmark::State& state) {
+  Workload w(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sig::AhoCorasick ac;
+    for (const auto& p : w.patterns) ac.AddPattern(p);
+    ac.Build();
+    benchmark::DoNotOptimize(ac);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_AhoCorasick)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_NaiveScan)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_AhoCorasickBuild)->Arg(64)->Arg(1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Ablation A1: µmbox isolation technology and reconfiguration strategy.
+//
+// Quantifies the design choices behind §5.2:
+//   (a) boot latency per isolation technology, and the packets a freshly
+//       launched µmbox queues or drops under live traffic;
+//   (b) hot reconfiguration vs cold restart: availability gap (packets
+//       delayed/dropped) while a posture change is applied under a steady
+//       packet stream.
+#include <cstdio>
+
+#include "dataplane/umbox.h"
+#include "proto/frame.h"
+
+using namespace iotsec;
+
+namespace {
+
+net::PacketPtr MakeProbe(int i) {
+  return net::MakePacket(proto::BuildUdpFrame(
+      net::MacAddress::FromId(1), net::MacAddress::FromId(2),
+      net::Ipv4Address(10, 0, 0, 9), net::Ipv4Address(10, 0, 0, 5),
+      static_cast<std::uint16_t>(1000 + i), 5009, ToBytes("probe")));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A1: µmbox isolation and reconfiguration ===\n");
+
+  // ---------------- (a) boot under live traffic (100 pkt/s stream).
+  std::printf("\n-- (a) launch under a 100 pkt/s stream --\n");
+  std::printf("%-12s %-14s %-10s %-10s %-12s\n", "boot model", "latency",
+              "queued", "dropped", "first-out");
+  for (const auto boot :
+       {dataplane::BootModel::kProcess, dataplane::BootModel::kMicroVm,
+        dataplane::BootModel::kContainer, dataplane::BootModel::kFullVm}) {
+    for (const bool queue : {true, false}) {
+      sim::Simulator sim;
+      dataplane::ElementContext ctx;
+      ctx.sim = &sim;
+      dataplane::UmboxSpec spec;
+      spec.id = 1;
+      spec.config_text = "c :: Counter()\n";
+      spec.boot = boot;
+      spec.queue_while_booting = queue;
+      std::string error;
+      auto box = dataplane::Umbox::Create(spec, ctx, &error);
+      SimTime first_out = 0;
+      box->SetEgress([&](net::PacketPtr) {
+        if (first_out == 0) first_out = sim.Now();
+      });
+      box->Boot();
+      int i = 0;
+      auto feeder = sim.Every(10 * kMillisecond, [&] {
+        box->Process(MakeProbe(i++));
+      });
+      sim.RunFor(dataplane::BootLatency(boot) + kSecond);
+      feeder.Cancel();
+      std::printf("%-12s %-14s %-10llu %-10llu %-12s (%s)\n",
+                  std::string(dataplane::BootModelName(boot)).c_str(),
+                  FormatDuration(dataplane::BootLatency(boot)).c_str(),
+                  static_cast<unsigned long long>(
+                      box->stats().queued_during_boot),
+                  static_cast<unsigned long long>(
+                      box->stats().dropped_during_boot),
+                  first_out ? FormatDuration(first_out).c_str() : "never",
+                  queue ? "queue" : "drop");
+    }
+  }
+
+  // ---------------- (b) hot reconfig vs restart under load.
+  std::printf("\n-- (b) posture change under a 1000 pkt/s stream --\n");
+  std::printf("%-14s %-12s %-12s %-14s\n", "strategy", "delivered",
+              "lost/held", "max gap");
+  bool shape = true;
+  for (const bool hot : {true, false}) {
+    sim::Simulator sim;
+    dataplane::ElementContext ctx;
+    ctx.sim = &sim;
+    dataplane::UmboxSpec spec;
+    spec.id = 1;
+    spec.config_text = "c :: Counter()\n";
+    spec.boot = dataplane::BootModel::kMicroVm;
+    spec.queue_while_booting = false;  // worst case for restart
+    std::string error;
+    auto box = dataplane::Umbox::Create(spec, ctx, &error);
+    std::size_t delivered = 0;
+    SimTime last_out = 0;
+    SimDuration max_gap = 0;
+    box->SetEgress([&](net::PacketPtr) {
+      const SimTime now = sim.Now();
+      if (last_out != 0 && now - last_out > max_gap) max_gap = now - last_out;
+      last_out = now;
+      ++delivered;
+    });
+    box->Boot();
+    sim.RunFor(100 * kMillisecond);
+
+    int i = 0;
+    std::size_t sent = 0;
+    auto feeder = sim.Every(kMillisecond, [&] {
+      box->Process(MakeProbe(i++));
+      ++sent;
+    });
+    // Reconfigure every 200ms, five times, while traffic flows.
+    for (int r = 0; r < 5; ++r) {
+      sim.RunFor(200 * kMillisecond);
+      const std::string new_config =
+          "c :: Counter()\nr :: RateLimiter(rate_pps=100000, burst=100000)\n"
+          "c -> r\n";
+      if (hot) {
+        box->Reconfigure(new_config, &error);
+      } else {
+        box->Restart(new_config, &error);
+      }
+    }
+    sim.RunFor(200 * kMillisecond);
+    feeder.Cancel();
+    sim.RunFor(kSecond);
+    const std::size_t lost = sent - delivered;
+    std::printf("%-14s %-12zu %-12zu %-14s\n",
+                hot ? "hot-reconfig" : "cold-restart", delivered, lost,
+                FormatDuration(max_gap).c_str());
+    if (hot && lost != 0) shape = false;
+    if (!hot && lost == 0) shape = false;
+  }
+  std::printf("(hot reconfiguration swaps the element graph between packets "
+              "— zero loss, no gap;\n cold restart pays boot latency per "
+              "change and drops in-flight traffic)\n");
+
+  std::printf("\nshape check vs paper: %s\n", shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

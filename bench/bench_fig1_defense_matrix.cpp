@@ -1,0 +1,324 @@
+// Figure 1 reproduction: why conventional IT security fails for IoT.
+//
+// Figure 1 is the paper's challenge matrix. We make it empirical: a suite
+// of attacks (one per Table 1 flaw class plus the multi-stage §2.1
+// scenario) executed under four defensive configurations:
+//   none       — unmanaged network ("current world")
+//   perimeter  — stateful default-deny firewall at the WAN edge
+//   host AV    — end-host antivirus (feasibility assessed per device)
+//   IoTSec     — context-aware µmbox postures
+// and we print who blocks what.
+#include <cstdio>
+#include <functional>
+
+#include "core/iotsec.h"
+
+using namespace iotsec;
+
+namespace {
+
+enum class Defense { kNone, kPerimeter, kHostAv, kIoTSec };
+
+const char* DefenseName(Defense d) {
+  switch (d) {
+    case Defense::kNone: return "none";
+    case Defense::kPerimeter: return "perimeter-fw";
+    case Defense::kHostAv: return "host-av";
+    case Defense::kIoTSec: return "IoTSec";
+  }
+  return "?";
+}
+
+struct Outcome {
+  bool attack_succeeded = true;
+  std::string note;
+};
+
+/// Builds a deployment for the given defense. The attacker sits on the
+/// LAN (insider / compromised-device pivot) for every attack except the
+/// exposed-access one, which we also try from the WAN to give the
+/// perimeter its best case.
+core::DeploymentOptions OptionsFor(Defense defense, bool wan_vantage) {
+  core::DeploymentOptions opts;
+  opts.with_iotsec = defense == Defense::kIoTSec;
+  opts.wan_attacker = wan_vantage;
+  return opts;
+}
+
+void InstallDefaultDeny(core::Deployment& dep) {
+  if (dep.gateway() == nullptr) return;
+  policy::MatchActionPolicy fw;
+  policy::MatchActionRule deny;
+  deny.name = "default-deny-inbound";
+  deny.verdict = policy::MatchActionVerdict::kDeny;
+  deny.allow_established = true;
+  fw.Add(deny);
+  dep.gateway()->SetPolicy(std::move(fw));
+}
+
+using Scenario = std::function<Outcome(Defense)>;
+
+Outcome RunDefaultPassword(Defense defense) {
+  // Insider tries admin/admin on the camera.
+  core::Deployment dep(OptionsFor(defense, /*wan_vantage=*/false));
+  auto* cam = dep.AddCamera("cam", {devices::Vulnerability::kDefaultPassword},
+                            "admin");
+  if (defense == Defense::kIoTSec) {
+    policy::FsmPolicy policy;
+    policy.SetDefault(core::PasswordProxyPosture(cam->spec().ip, "admin",
+                                                 "Strong-Pass", "admin",
+                                                 "admin"));
+    dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+  }
+  dep.Start();
+  dep.RunFor(kSecond);
+  int status = 0;
+  dep.attacker().HttpGet(cam->spec().ip, cam->spec().mac, "/admin",
+                         std::make_pair(std::string("admin"),
+                                        std::string("admin")),
+                         [&](const proto::HttpResponse& r) {
+                           status = r.status;
+                         });
+  dep.RunFor(2 * kSecond);
+  Outcome out;
+  out.attack_succeeded = status == 200;
+  if (defense == Defense::kHostAv) {
+    out.note = baseline::HostAntivirus::Installable(*cam)
+                   ? "AV installed, flaw is by design"
+                   : "AV does not fit in 8MB RAM";
+  }
+  return out;
+}
+
+Outcome RunExposedAccessFromWan(Defense defense) {
+  // Remote attacker pokes the set-top box management page from the WAN.
+  core::Deployment dep(OptionsFor(defense, /*wan_vantage=*/true));
+  auto spec = dep.MakeSpec("stb", devices::DeviceClass::kSetTopBox,
+                           {devices::Vulnerability::kExposedAccess});
+  auto* stb = static_cast<devices::SetTopBox*>(
+      dep.Attach(std::make_unique<devices::SetTopBox>(spec, dep.sim(),
+                                                      &dep.environment())));
+  if (defense == Defense::kPerimeter) InstallDefaultDeny(dep);
+  if (defense == Defense::kIoTSec) {
+    policy::FsmPolicy policy;
+    policy.SetDefault(core::FirewallPosture(dep.lan_prefix()));
+    dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+  }
+  dep.Start();
+  dep.RunFor(kSecond);
+  int status = 0;
+  dep.attacker().HttpGet(stb->spec().ip, stb->spec().mac, "/admin",
+                         std::nullopt, [&](const proto::HttpResponse& r) {
+                           status = r.status;
+                         });
+  dep.RunFor(2 * kSecond);
+  Outcome out;
+  out.attack_succeeded = status == 200;
+  return out;
+}
+
+Outcome RunBackdoorActuation(Defense defense) {
+  // Insider (or compromised device) uses the Wemo backdoor.
+  core::Deployment dep(OptionsFor(defense, false));
+  auto* wemo = dep.AddSmartPlug("wemo", "oven_power",
+                                {devices::Vulnerability::kBackdoor});
+  if (defense == Defense::kIoTSec) {
+    policy::FsmPolicy policy;
+    policy.SetDefault(core::MonitorPosture());
+    dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+  }
+  dep.Start();
+  dep.RunFor(kSecond);
+  dep.attacker().SendIotCommand(wemo->spec().ip, wemo->spec().mac,
+                                proto::IotCommand::kTurnOn, std::nullopt,
+                                true, nullptr);
+  dep.RunFor(2 * kSecond);
+  Outcome out;
+  out.attack_succeeded = wemo->State() == "on";
+  return out;
+}
+
+Outcome RunDnsAmplification(Defense defense) {
+  core::Deployment dep(OptionsFor(defense, false));
+  auto* wemo = dep.AddSmartPlug("wemo", "oven_power",
+                                {devices::Vulnerability::kOpenDnsResolver});
+  if (defense == Defense::kIoTSec) {
+    policy::FsmPolicy policy;
+    policy.SetDefault(core::DnsGuardPosture(dep.lan_prefix()));
+    dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+  }
+  dep.Start();
+  dep.RunFor(kSecond);
+  const auto baseline = wemo->stats().frames_out;
+  dep.attacker().DnsAmplify(wemo->spec().ip, wemo->spec().mac,
+                            net::Ipv4Address(203, 0, 113, 80), 10);
+  dep.RunFor(3 * kSecond);
+  Outcome out;
+  out.attack_succeeded = wemo->stats().frames_out > baseline;
+  return out;
+}
+
+Outcome RunKeyExfiltration(Defense defense) {
+  core::Deployment dep(OptionsFor(defense, false));
+  auto* cam = dep.AddCamera("cctv", {devices::Vulnerability::kUnprotectedKeys});
+  if (defense == Defense::kIoTSec) {
+    policy::FsmPolicy policy;
+    policy.SetDefault(core::MonitorPosture());  // sid 1005 blocks key bytes
+    dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+  }
+  dep.Start();
+  dep.RunFor(kSecond);
+  std::string body;
+  dep.attacker().HttpGet(cam->spec().ip, cam->spec().mac, "/firmware",
+                         std::nullopt, [&](const proto::HttpResponse& r) {
+                           body = r.body;
+                         });
+  dep.RunFor(2 * kSecond);
+  Outcome out;
+  out.attack_succeeded = body.find("PRIVATE KEY") != std::string::npos;
+  return out;
+}
+
+Outcome RunCloudRelay(Defense defense) {
+  // The vendor cloud is compromised; it sends a credentialed command as a
+  // "reply" on the device's own keepalive flow, from beyond the
+  // perimeter. Stateful firewalls admit it by design.
+  core::Deployment dep(OptionsFor(defense, /*wan_vantage=*/true));
+  auto* wemo = dep.AddSmartPlug("wemo", "oven_power");
+  if (defense == Defense::kPerimeter) InstallDefaultDeny(dep);
+  if (defense == Defense::kIoTSec) {
+    policy::FsmPolicy policy;
+    policy.SetDefault(core::ContextGatePosture(proto::IotCommand::kTurnOn,
+                                               "env.occupancy", "on"));
+    dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+  }
+  dep.Start();
+  wemo->StartCloudKeepalive(dep.attacker().ip(), dep.attacker().mac(),
+                            2 * kSecond);
+  dep.RunFor(5 * kSecond);
+
+  proto::IotCtlMessage cmd;
+  cmd.type = proto::IotMsgType::kCommand;
+  cmd.command = proto::IotCommand::kTurnOn;
+  cmd.SetAuthToken(wemo->spec().credential);
+  dep.attacker().SendFrame(proto::BuildUdpFrame(
+      dep.attacker().mac(), wemo->spec().mac, dep.attacker().ip(),
+      wemo->spec().ip, proto::kIotCtlPort, devices::Device::kCloudPort,
+      cmd.Serialize()));
+  dep.RunFor(2 * kSecond);
+  Outcome out;
+  out.attack_succeeded = wemo->State() == "on";
+  return out;
+}
+
+Outcome RunMultiStage(Defense defense) {
+  // The §2.1 chain: backdoor -> oven on -> heat -> automation opens window.
+  core::Deployment dep(OptionsFor(defense, false));
+  auto* cam = dep.AddCamera("cam");
+  auto* wemo = dep.AddSmartPlug("wemo", "oven_power",
+                                {devices::Vulnerability::kBackdoor});
+  auto* window = dep.AddWindow("window");
+  if (defense == Defense::kIoTSec) {
+    policy::FsmPolicy policy;
+    policy.SetDefault(core::MonitorPosture());
+    policy::PolicyRule gate;
+    gate.name = "wemo-gate";
+    gate.when = policy::StatePredicate::Any();
+    gate.device = wemo->id();
+    gate.posture = core::ContextGatePosture(proto::IotCommand::kTurnOn,
+                                            "device.cam.state",
+                                            "person_detected");
+    gate.priority = 10;
+    policy.Add(gate);
+    dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+  }
+  (void)cam;
+  dep.Start();
+  dep.RunFor(kSecond);
+  dep.attacker().SendIotCommand(wemo->spec().ip, wemo->spec().mac,
+                                proto::IotCommand::kTurnOn, std::nullopt,
+                                true, nullptr);
+  dep.RunFor(3 * kMinute);
+  // Homeowner automation: hot room -> open the window.
+  if (dep.environment().Level("temperature") >= 2) {
+    dep.attacker().SendIotCommand(window->spec().ip, window->spec().mac,
+                                  proto::IotCommand::kOpen,
+                                  window->spec().credential, false, nullptr);
+    dep.RunFor(2 * kSecond);
+  }
+  Outcome out;
+  out.attack_succeeded = window->State() == "open";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1: attack suite vs defensive configurations ===\n");
+  std::printf("(cell = what the attacker achieved; the paper's claim is\n"
+              " that only the network-based, context-aware column holds)\n\n");
+
+  struct Attack {
+    const char* name;
+    Scenario run;
+  };
+  const std::vector<Attack> attacks = {
+      {"default-password hijack (LAN)", RunDefaultPassword},
+      {"exposed management (WAN)", RunExposedAccessFromWan},
+      {"backdoor actuation (LAN)", RunBackdoorActuation},
+      {"DNS amplification launchpad", RunDnsAmplification},
+      {"firmware key exfiltration", RunKeyExfiltration},
+      {"cloud-relayed command (WAN)", RunCloudRelay},
+      {"multi-stage physical breach", RunMultiStage},
+  };
+  const Defense defenses[] = {Defense::kNone, Defense::kPerimeter,
+                              Defense::kHostAv, Defense::kIoTSec};
+
+  std::printf("%-32s", "attack \\ defense");
+  for (const auto d : defenses) std::printf(" %-14s", DefenseName(d));
+  std::printf("\n");
+
+  std::map<Defense, int> blocked_count;
+  for (const auto& attack : attacks) {
+    std::printf("%-32s", attack.name);
+    for (const auto d : defenses) {
+      const auto outcome = attack.run(d);
+      if (!outcome.attack_succeeded) ++blocked_count[d];
+      std::printf(" %-14s", outcome.attack_succeeded ? "SUCCEEDED" : "blocked");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nblocked per defense:");
+  for (const auto d : defenses) {
+    std::printf("  %s=%d/%zu", DefenseName(d), blocked_count[d],
+                attacks.size());
+  }
+  std::printf("\n");
+
+  // Host AV feasibility sidebar (the other half of the paper's argument).
+  {
+    core::Deployment dep;
+    std::vector<devices::Device*> fleet;
+    fleet.push_back(dep.AddCamera("cam"));
+    fleet.push_back(dep.AddSmartPlug("wemo", "oven_power"));
+    fleet.push_back(dep.AddFireAlarm("protect"));
+    fleet.push_back(dep.AddLightBulb("hue"));
+    const auto report = baseline::HostAntivirus::Assess(fleet);
+    std::printf("\nhost AV feasibility: installable on %zu/%zu devices "
+                "(needs %d MB RAM); mitigates %zu/%zu flaw instances\n",
+                report.installable, report.devices,
+                baseline::HostAntivirus::kRequiredRamKb / 1024,
+                report.mitigated, report.vulnerabilities);
+  }
+
+  const bool shape = blocked_count[Defense::kIoTSec] ==
+                         static_cast<int>(attacks.size()) &&
+                     blocked_count[Defense::kNone] == 0 &&
+                     blocked_count[Defense::kPerimeter] <
+                         static_cast<int>(attacks.size());
+  std::printf("\nshape check vs paper (IoTSec blocks all, traditional "
+              "defenses leak): %s\n",
+              shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

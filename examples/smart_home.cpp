@@ -1,0 +1,164 @@
+// Smart home walkthrough: the paper's §2.1 cross-device attack, end to
+// end, in both worlds.
+//
+// Deployment: Wemo plug (backdoored) powering the oven, camera, fire
+// alarm, window actuator, thermostat, bulb + light sensor. The attacker
+// runs the multi-stage plan: use the Wemo backdoor to turn the oven on
+// while nobody is home, heat the room until the smoke alarm trips, and
+// let an IFTTT-style automation open the window for a physical break-in.
+//
+// Under IoTSec, the Figure 5 context gate blocks stage one, and the
+// Figure 3 policy quarantines the window command channel as soon as the
+// fire alarm turns suspicious.
+//
+//   $ ./example_smart_home
+#include <cstdio>
+
+#include "core/iotsec.h"
+
+using namespace iotsec;
+
+namespace {
+
+struct Home {
+  core::Deployment dep;
+  devices::Camera* cam;
+  devices::SmartPlug* wemo;
+  devices::FireAlarm* alarm;
+  devices::WindowActuator* window;
+  devices::Thermostat* thermostat;
+
+  explicit Home(bool with_iotsec) : dep(Options(with_iotsec)) {
+    cam = dep.AddCamera("cam");
+    wemo = dep.AddSmartPlug("wemo", "oven_power",
+                            {devices::Vulnerability::kBackdoor});
+    alarm = dep.AddFireAlarm("protect");
+    window = dep.AddWindow("window");
+    thermostat = dep.AddThermostat("nest");
+    dep.AddLightBulb("hue");
+    dep.AddLightSensor("lux");
+
+    if (with_iotsec) {
+      policy::StateSpace space = dep.BuildStateSpace();
+      policy::FsmPolicy policy;
+      policy.SetDefault(core::MonitorPosture());
+
+      // Figure 5: oven power only while the camera sees a person.
+      policy::PolicyRule gate;
+      gate.name = "wemo-occupancy-gate";
+      gate.when = policy::StatePredicate::Any();
+      gate.device = wemo->id();
+      gate.posture = core::ContextGatePosture(
+          proto::IotCommand::kTurnOn, "device.cam.state", "person_detected");
+      gate.priority = 10;
+      policy.Add(gate);
+
+      // Figure 3: while the fire alarm context is suspicious (or the
+      // house is smoking), block "open" commands to the window.
+      policy::PolicyRule window_guard;
+      window_guard.name = "window-block-open-on-suspicion";
+      window_guard.when.AndIn("ctx:protect", {"suspicious", "compromised"});
+      window_guard.device = window->id();
+      window_guard.posture = core::QuarantinePosture();
+      window_guard.priority = 10;
+      policy.Add(window_guard);
+
+      policy::PolicyRule window_smoke;
+      window_smoke.name = "window-quarantine-during-smoke";
+      window_smoke.when = policy::StatePredicate::Eq("env:smoke", "on");
+      window_smoke.device = window->id();
+      window_smoke.posture = core::QuarantinePosture();
+      window_smoke.priority = 5;
+      policy.Add(window_smoke);
+
+      dep.UsePolicy(std::move(space), std::move(policy));
+    }
+    dep.Start();
+    dep.RunFor(kSecond);
+  }
+
+  static core::DeploymentOptions Options(bool with_iotsec) {
+    core::DeploymentOptions opts;
+    opts.with_iotsec = with_iotsec;
+    return opts;
+  }
+
+  /// The attacker's multi-stage script. Returns a narrative trace.
+  void RunAttack() {
+    // Stage 1: backdoor ON to the Wemo.
+    dep.attacker().SendIotCommand(wemo->spec().ip, wemo->spec().mac,
+                                  proto::IotCommand::kTurnOn, std::nullopt,
+                                  /*backdoor=*/true, nullptr);
+    dep.RunFor(2 * kSecond);
+    std::printf("  stage 1: backdoor ON to wemo      -> plug is %-4s  "
+                "(oven_power=%s)\n",
+                wemo->State().c_str(),
+                dep.environment().GetBool("oven_power") ? "on" : "off");
+
+    // Stage 2: wait for the physics.
+    dep.RunFor(3 * kMinute);
+    std::printf("  stage 2: 3 minutes pass           -> temp %.1fC, "
+                "smoke=%s, alarm=%s\n",
+                dep.environment().Value("temperature"),
+                dep.environment().GetBool("smoke") ? "yes" : "no",
+                alarm->State().c_str());
+
+    // Stage 3: the homeowner's IFTTT-style automation — "if the room is
+    // hot, open the window to cool it down" — fires on the attacker's
+    // schedule. (The hub holds the window credential; the attacker never
+    // needs it.)
+    const bool hot = dep.environment().Level("temperature") >= 2;  // "high"
+    if (hot) {
+      dep.attacker().SendIotCommand(window->spec().ip, window->spec().mac,
+                                    proto::IotCommand::kOpen,
+                                    window->spec().credential, false,
+                                    nullptr);
+      dep.RunFor(2 * kSecond);
+      std::printf("  stage 3: cooling automation fires -> window is %s\n",
+                  window->State().c_str());
+    } else {
+      std::printf("  stage 3: room never got hot       -> automation never "
+                  "fires\n");
+    }
+
+    std::printf("  outcome: %s\n",
+                window->State() == "open"
+                    ? "PHYSICAL BREACH - the house is open"
+                    : "attack contained - window stayed closed");
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Smart home: the multi-stage cross-device attack ==\n");
+  std::printf("\n-- current world (unmanaged network) --\n");
+  {
+    Home home(/*with_iotsec=*/false);
+    home.RunAttack();
+  }
+
+  std::printf("\n-- with IoTSec --\n");
+  {
+    Home home(/*with_iotsec=*/true);
+    home.RunAttack();
+    const auto& stats = home.dep.controller().stats();
+    std::printf(
+        "  controller saw %llu alerts, made %llu posture changes, "
+        "%llu policy evaluations\n",
+        static_cast<unsigned long long>(stats.alerts),
+        static_cast<unsigned long long>(stats.posture_changes),
+        static_cast<unsigned long long>(stats.policy_evals));
+    std::printf("  wemo context is now '%s'\n",
+                home.dep.controller()
+                    .view()
+                    .DeviceContext("wemo")
+                    .value_or("?")
+                    .c_str());
+    std::printf("\n  incident timeline (controller audit log):\n");
+    for (const auto& entry : home.dep.controller().audit().Tail(8)) {
+      std::printf("    %s\n", entry.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Byte-order-aware buffer reader/writer used by all protocol codecs.
+//
+// All wire formats in the simulator are big-endian (network byte order),
+// matching the real protocols they model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotsec {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends big-endian integers and raw bytes to a growing buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void U32(std::uint32_t v) {
+    U16(static_cast<std::uint16_t>(v >> 16));
+    U16(static_cast<std::uint16_t>(v));
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v >> 32));
+    U32(static_cast<std::uint32_t>(v));
+  }
+  void Raw(std::span<const std::uint8_t> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+  void Str(std::string_view s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] std::size_t Size() const { return out_.size(); }
+
+  /// Overwrites a previously written big-endian u16 at `offset`
+  /// (used to backpatch length/checksum fields).
+  void PatchU16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+ private:
+  Bytes& out_;
+};
+
+/// Reads big-endian integers from a fixed buffer. All reads are
+/// bounds-checked; a failed read sets the error flag and returns zeroes,
+/// so parsers can check Ok() once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool Ok() const { return ok_; }
+  [[nodiscard]] std::size_t Remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t Position() const { return pos_; }
+
+  std::uint8_t U8() {
+    if (!Ensure(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t U16() {
+    if (!Ensure(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t U32() {
+    const std::uint32_t hi = U16();
+    const std::uint32_t lo = U16();
+    return (hi << 16) | lo;
+  }
+  std::uint64_t U64() {
+    const std::uint64_t hi = U32();
+    const std::uint64_t lo = U32();
+    return (hi << 32) | lo;
+  }
+
+  /// Returns a view of the next n bytes and advances past them.
+  std::span<const std::uint8_t> Raw(std::size_t n) {
+    if (!Ensure(n)) return {};
+    auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  std::string Str(std::size_t n) {
+    auto view = Raw(n);
+    return std::string(view.begin(), view.end());
+  }
+
+  /// Remaining bytes as a view, without advancing.
+  [[nodiscard]] std::span<const std::uint8_t> Rest() const {
+    return data_.subspan(pos_);
+  }
+
+  void Skip(std::size_t n) { (void)Raw(n); }
+
+ private:
+  bool Ensure(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return ok_;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Converts a string to bytes.
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Converts bytes to a string (lossy for non-text payloads; used in tests).
+inline std::string ToString(std::span<const std::uint8_t> b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// RFC 1071 ones-complement checksum over `data` (IPv4/TCP/UDP style).
+std::uint16_t InternetChecksum(std::span<const std::uint8_t> data);
+
+}  // namespace iotsec

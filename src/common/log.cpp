@@ -1,0 +1,61 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace iotsec {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::function<void(LogLevel, const std::string&)> g_sink;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogSink(std::function<void(LogLevel, const std::string&)> sink) {
+  g_sink = std::move(sink);
+}
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (level < g_level) return;
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string msg;
+  if (needed > 0) {
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    msg.assign(buf.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  if (g_sink) {
+    g_sink(level, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  }
+}
+
+}  // namespace iotsec

@@ -1,0 +1,34 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded per run, so logging is intentionally
+// simple: a global level, printf-style formatting, and a sink that tests
+// can capture. Defaults to kWarn so tests and benches stay quiet.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace iotsec {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global log threshold. Messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Replaces the output sink (default writes to stderr). Pass nullptr to
+/// restore the default sink.
+void SetLogSink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// Emits a printf-formatted message at the given level.
+void Logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define IOTSEC_LOG_TRACE(...) ::iotsec::Logf(::iotsec::LogLevel::kTrace, __VA_ARGS__)
+#define IOTSEC_LOG_DEBUG(...) ::iotsec::Logf(::iotsec::LogLevel::kDebug, __VA_ARGS__)
+#define IOTSEC_LOG_INFO(...) ::iotsec::Logf(::iotsec::LogLevel::kInfo, __VA_ARGS__)
+#define IOTSEC_LOG_WARN(...) ::iotsec::Logf(::iotsec::LogLevel::kWarn, __VA_ARGS__)
+#define IOTSEC_LOG_ERROR(...) ::iotsec::Logf(::iotsec::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace iotsec

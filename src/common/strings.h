@@ -1,0 +1,34 @@
+// Small string utilities used by the rule/config parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotsec {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any whitespace run, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Parses a non-negative integer; returns false on any malformed input.
+bool ParseUint(std::string_view s, std::uint64_t& out);
+
+/// Joins the parts with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace iotsec

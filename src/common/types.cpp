@@ -1,0 +1,24 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace iotsec {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(d) / kSecond);
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms",
+                  static_cast<double>(d) / kMillisecond);
+  } else if (d >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus",
+                  static_cast<double>(d) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace iotsec

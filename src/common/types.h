@@ -1,0 +1,38 @@
+// Core scalar types shared across the IoTSec library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iotsec {
+
+/// Simulated time in nanoseconds since the start of the simulation.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, also in nanoseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+
+/// Formats a SimTime/SimDuration as a human-readable string ("12.345ms").
+std::string FormatDuration(SimDuration d);
+
+/// Stable identifier of a simulated IoT device within a deployment.
+using DeviceId = std::uint32_t;
+
+/// Identifier of a switch/AP in the simulated network.
+using SwitchId = std::uint32_t;
+
+/// Identifier of a µmbox instance.
+using UmboxId = std::uint32_t;
+
+/// Identifier of a compute server in the on-premise cluster.
+using ServerId = std::uint32_t;
+
+inline constexpr DeviceId kInvalidDevice = 0xffffffffu;
+
+}  // namespace iotsec

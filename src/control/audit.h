@@ -1,0 +1,65 @@
+// Controller audit log.
+//
+// Every security-relevant decision the controller takes — context
+// escalations, posture changes, µmbox launches/reconfigs, enforcement
+// failures, crowd patches — lands here with its simulation timestamp.
+// Operators (and the examples/tests) read it to answer "why is this
+// device quarantined?" and "when did enforcement change?".
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace iotsec::control {
+
+enum class AuditCategory : std::uint8_t {
+  kContext,      // security-context transitions
+  kPosture,      // posture applied / changed
+  kUmbox,        // launch / reconfig / stop
+  kFlow,         // diversion installed / removed / isolation
+  kAlert,        // alert received from the dataplane
+  kCrowd,        // crowd signature applied
+  kFailure,      // enforcement failure
+};
+
+std::string_view AuditCategoryName(AuditCategory c);
+
+struct AuditEntry {
+  SimTime at = 0;
+  AuditCategory category = AuditCategory::kContext;
+  std::string device;  // may be empty for system-wide events
+  std::string message;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Record(SimTime at, AuditCategory category, std::string device,
+              std::string message);
+
+  [[nodiscard]] const std::deque<AuditEntry>& Entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t Size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t TotalRecorded() const { return total_; }
+
+  /// Entries about one device, oldest first.
+  [[nodiscard]] std::vector<AuditEntry> For(const std::string& device) const;
+  /// Entries of one category, oldest first.
+  [[nodiscard]] std::vector<AuditEntry> Of(AuditCategory category) const;
+  /// The most recent n entries, oldest first.
+  [[nodiscard]] std::vector<AuditEntry> Tail(std::size_t n) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<AuditEntry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace iotsec::control

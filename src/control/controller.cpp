@@ -1,0 +1,455 @@
+#include "control/controller.h"
+
+#include "common/log.h"
+#include "common/strings.h"
+#include "proto/frame.h"
+#include "proto/iotctl.h"
+
+namespace iotsec::control {
+namespace {
+
+/// First declared element name in a Click-lite config (its entry point).
+std::string FirstElementName(const std::string& config) {
+  for (const auto& raw : Split(config, '\n')) {
+    const auto line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto decl = line.find("::");
+    const auto arrow = line.find("->");
+    if (decl == std::string_view::npos) continue;
+    if (arrow != std::string_view::npos && arrow < decl) continue;
+    return std::string(Trim(line.substr(0, decl)));
+  }
+  return "";
+}
+
+}  // namespace
+
+IoTSecController::IoTSecController(sim::Simulator& simulator,
+                                   ControllerConfig config)
+    : sim_(simulator), config_(config) {}
+
+void IoTSecController::ManageSwitch(sdn::Switch* sw, int port_to_cluster) {
+  sw->SetPacketInHandler(this);
+  sw->SetMissBehavior(sdn::Switch::MissBehavior::kToController);
+  switches_.push_back(ManagedSwitch{sw, port_to_cluster});
+}
+
+void IoTSecController::SetCluster(dataplane::Cluster* cluster) {
+  cluster_ = cluster;
+  for (dataplane::UmboxHost* host : cluster->hosts()) {
+    host->SetAlertSink([this](UmboxId id, const dataplane::Alert& alert) {
+      // Alerts ride the control channel: they land after control latency.
+      sim_.After(config_.control_latency,
+                 [this, id, alert] { OnUmboxAlert(id, alert); });
+    });
+  }
+}
+
+void IoTSecController::RegisterDevice(devices::Device* device,
+                                      sdn::Switch* sw, int port) {
+  ManagedDevice md;
+  md.device = device;
+  md.sw = sw;
+  md.port = port;
+  devices_[device->id()] = md;
+
+  sw->SetMacPort(device->spec().mac, port);
+  const std::string& name = device->spec().name;
+  view_.SetDeviceState(name, device->State());
+  view_.SetDeviceContext(
+      name, device->spec().vulns.empty() ? "normal" : "unpatched");
+}
+
+void IoTSecController::RegisterEndpoint(const net::MacAddress& mac,
+                                        sdn::Switch* sw, int port) {
+  sw->SetMacPort(mac, port);
+}
+
+void IoTSecController::BindEnvironment(env::Environment* environment) {
+  // Seed the view with the current levels, then track changes.
+  for (const auto& [var, level] : environment->SnapshotLevels()) {
+    (void)level;
+    view_.SetEnvLevel(var, environment->LevelName(var));
+  }
+  environment->Subscribe([this, environment](const env::LevelChange& change) {
+    const std::string level =
+        environment->LevelName(change.variable);
+    sim_.After(config_.control_latency, [this, var = change.variable, level] {
+      ++stats_.env_events;
+      view_.SetEnvLevel(var, level);
+      ScheduleReevaluate();
+    });
+  });
+}
+
+void IoTSecController::SetPolicy(policy::StateSpace space,
+                                 policy::FsmPolicy policy) {
+  space_ = std::move(space);
+  policy_ = std::move(policy);
+}
+
+void IoTSecController::AttachCrowdRepo(learn::CrowdRepo* repo) {
+  crowd_repo_ = repo;
+  std::set<std::string> skus;
+  for (const auto& [id, md] : devices_) skus.insert(md.device->spec().sku);
+  for (const auto& sku : skus) {
+    // Pick up signatures accepted before we subscribed.
+    for (const auto& sig : repo->AcceptedFor(sku)) {
+      crowd_rules_[sku].push_back(sig.rule.ToText());
+    }
+    repo->Subscribe(sku, "iotsec-controller",
+                    [this, sku](const learn::SharedSignature& sig) {
+                      // Distribution is not instantaneous: the rule lands
+                      // one control latency later.
+                      sim_.After(config_.control_latency,
+                                 [this, sku, text = sig.rule.ToText()] {
+                                   crowd_rules_[sku].push_back(text);
+                                   OnCrowdSignature(sku);
+                                 });
+                    });
+  }
+}
+
+std::string IoTSecController::EffectiveConfig(
+    const ManagedDevice& md, const std::string& config) const {
+  const auto it = crowd_rules_.find(md.device->spec().sku);
+  if (it == crowd_rules_.end() || it->second.empty() || config.empty()) {
+    return config;
+  }
+  const std::string entry = FirstElementName(config);
+  if (entry.empty()) return config;
+  // The rule text goes inside a quoted config value, so its own quotes
+  // must go; the rule parser accepts unquoted option values.
+  std::string rules = Join(it->second, "\n");
+  std::erase(rules, '"');
+  return "crowd :: SignatureMatcher(rules=\"" + rules + "\")\n" + config +
+         "crowd -> " + entry + "\n";
+}
+
+void IoTSecController::OnCrowdSignature(const std::string& sku) {
+  IOTSEC_LOG_INFO("crowd signature accepted for SKU %s; repatching umboxes",
+                  sku.c_str());
+  for (auto& [id, md] : devices_) {
+    if (md.device->spec().sku != sku) continue;
+    if (!md.umbox || cluster_ == nullptr) continue;
+    if (md.posture.umbox_config.empty()) continue;
+    dataplane::Umbox* box = cluster_->Find(*md.umbox);
+    if (box == nullptr) continue;
+    std::string error;
+    if (box->Reconfigure(EffectiveConfig(md, md.posture.umbox_config),
+                         &error)) {
+      ++stats_.crowd_rules_applied;
+      ++stats_.umbox_reconfigs;
+      audit_.Record(sim_.Now(), AuditCategory::kCrowd,
+                    md.device->spec().name,
+                    "crowd signature applied for SKU " + sku);
+    } else {
+      IOTSEC_LOG_ERROR("crowd repatch failed for %s: %s",
+                       md.device->spec().name.c_str(), error.c_str());
+    }
+  }
+}
+
+void IoTSecController::Start() {
+  started_ = true;
+  for (auto& ms : switches_) {
+    // Base L2 forwarding: one low-priority entry per known MAC on each
+    // switch, so normal traffic flows without controller involvement.
+    for (const auto& [id, md] : devices_) {
+      if (md.sw != ms.sw) continue;
+      sdn::FlowEntry entry;
+      entry.priority = 1;
+      entry.match.eth_dst = md.device->spec().mac;
+      entry.actions = {sdn::FlowAction::Output(md.port)};
+      entry.version = flow_version_;
+      ms.sw->flow_table().Install(entry);
+      ++stats_.flow_ops;
+    }
+    // Tunnel transit: in multi-switch topologies, diverted (kToUmbox)
+    // frames from remote edges arrive as regular frames and must be
+    // forwarded toward the cluster. (Returning kFromUmbox frames are
+    // decapsulated in Switch::Receive before the table is consulted.)
+    if (ms.cluster_port >= 0) {
+      sdn::FlowEntry transit;
+      transit.priority = 50;
+      transit.match.ethertype = proto::EtherType::kTunnel;
+      transit.actions = {sdn::FlowAction::Output(ms.cluster_port)};
+      transit.version = flow_version_;
+      ms.sw->flow_table().Install(transit);
+      ++stats_.flow_ops;
+    }
+  }
+  Reevaluate();
+}
+
+void IoTSecController::OnPacketIn(SwitchId sw, int in_port,
+                                  net::PacketPtr pkt) {
+  (void)in_port;
+  ++stats_.packet_ins;
+  // Unknown destinations: deliver by MAC table if known, else drop. (A
+  // production controller would learn/flood; IoTSec deployments know
+  // their endpoints.)
+  auto frame = proto::ParseFrame(pkt->data());
+  if (!frame) return;
+  for (auto& ms : switches_) {
+    if (ms.sw->id() != sw) continue;
+    const int out = ms.sw->PortOfMac(frame->eth.dst);
+    if (out >= 0) {
+      sim_.After(config_.flowmod_latency,
+                 [s = ms.sw, pkt = std::move(pkt), out]() mutable {
+                   s->Output(std::move(pkt), out);
+                 });
+    }
+    return;
+  }
+}
+
+void IoTSecController::Receive(net::PacketPtr pkt, int port) {
+  (void)port;
+  auto frame = proto::ParseFrame(pkt->data());
+  if (!frame || !frame->ip || !frame->udp) return;
+  auto msg = proto::IotCtlMessage::Parse(frame->payload);
+  if (!msg || msg->type != proto::IotMsgType::kEvent) return;
+  const auto sensor = msg->Find(proto::IotTag::kSensor);
+  const auto reading = msg->Find(proto::IotTag::kReading);
+  if (!sensor || !reading) return;
+
+  ManagedDevice* md = FindByIp(frame->ip->src);
+  if (md == nullptr) return;
+  ++stats_.telemetry_events;
+  if (*sensor == "state") {
+    // Ingestion is not free: the update lands in the view after the
+    // control latency (queueing + processing), which is exactly the
+    // stale-context window bench F5 measures.
+    sim_.After(config_.control_latency,
+               [this, name = md->device->spec().name,
+                reading = *reading] {
+                 view_.SetDeviceState(name, reading);
+                 ScheduleReevaluate();
+               });
+  }
+}
+
+void IoTSecController::OnUmboxAlert(UmboxId umbox,
+                                    const dataplane::Alert& alert) {
+  ++stats_.alerts;
+  ManagedDevice* md = FindByUmbox(umbox);
+  if (md == nullptr) return;
+  audit_.Record(sim_.Now(), AuditCategory::kAlert, md->device->spec().name,
+                alert.kind + " from " + alert.element + ": " + alert.detail);
+  IOTSEC_LOG_INFO("alert from umbox %u (%s): %s %s", umbox,
+                  md->device->spec().name.c_str(), alert.kind.c_str(),
+                  alert.detail.c_str());
+  ++md->alert_count;
+  EscalateContext(md->device->spec().name, *md);
+}
+
+void IoTSecController::SetDeviceContext(const std::string& device_name,
+                                        const std::string& context) {
+  audit_.Record(sim_.Now(), AuditCategory::kContext, device_name,
+                "operator set context to " + context);
+  view_.SetDeviceContext(device_name, context);
+  ScheduleReevaluate();
+}
+
+void IoTSecController::EscalateContext(const std::string& device_name,
+                                       ManagedDevice& md) {
+  const std::string next =
+      md.alert_count >= config_.compromise_threshold ? "compromised"
+                                                     : "suspicious";
+  const auto current = view_.DeviceContext(device_name);
+  if (current && *current == "compromised") return;  // never de-escalate here
+  if (current && *current == next) return;
+  audit_.Record(sim_.Now(), AuditCategory::kContext, device_name,
+                current.value_or("?") + " -> " + next + " after " +
+                    std::to_string(md.alert_count) + " alert(s)");
+  view_.SetDeviceContext(device_name, next);
+  ScheduleReevaluate();
+}
+
+void IoTSecController::ScheduleReevaluate() {
+  if (!started_ || reeval_pending_) return;
+  reeval_pending_ = true;
+  sim_.After(config_.control_latency, [this] {
+    reeval_pending_ = false;
+    Reevaluate();
+  });
+}
+
+void IoTSecController::Reevaluate() {
+  ++stats_.policy_evals;
+  const policy::SystemState state = view_.ToSystemState(space_);
+  for (auto& [id, md] : devices_) {
+    const policy::Posture& posture = policy_.Evaluate(space_, state, id);
+    if (posture == md.posture) continue;
+    ++stats_.posture_changes;
+    audit_.Record(sim_.Now(), AuditCategory::kPosture,
+                  md.device->spec().name,
+                  md.posture.profile + " -> " + posture.profile);
+    ApplyPosture(md, posture);
+  }
+}
+
+void IoTSecController::ApplyPosture(ManagedDevice& md,
+                                    const policy::Posture& posture) {
+  const bool needs_umbox = posture.tunnel && !posture.umbox_config.empty();
+  if (!needs_umbox) {
+    RemoveDiversion(md);
+    if (md.umbox && cluster_ != nullptr) {
+      if (dataplane::UmboxHost* host = cluster_->HostOf(*md.umbox)) {
+        host->Stop(*md.umbox);
+      }
+      md.umbox.reset();
+    }
+    md.posture = posture;
+    return;
+  }
+
+  if (cluster_ == nullptr) {
+    IOTSEC_LOG_WARN("posture for %s needs a umbox but no cluster is set",
+                    md.device->spec().name.c_str());
+    if (config_.fail_closed) InstallIsolation(md);
+    return;
+  }
+
+  if (md.umbox) {
+    // Existing instance: hot reconfigure (or cold restart for ablation).
+    dataplane::Umbox* box = cluster_->Find(*md.umbox);
+    if (box != nullptr) {
+      std::string error;
+      const std::string config = EffectiveConfig(md, posture.umbox_config);
+      const bool ok = config_.hot_reconfig ? box->Reconfigure(config, &error)
+                                           : box->Restart(config, &error);
+      if (!ok) {
+        IOTSEC_LOG_ERROR("reconfig failed for %s: %s",
+                         md.device->spec().name.c_str(), error.c_str());
+        return;
+      }
+      ++stats_.umbox_reconfigs;
+      audit_.Record(sim_.Now(), AuditCategory::kUmbox,
+                    md.device->spec().name,
+                    std::string(config_.hot_reconfig ? "hot reconfig"
+                                                     : "restart") +
+                        " of umbox " + std::to_string(*md.umbox));
+      md.posture = posture;
+      return;
+    }
+    md.umbox.reset();
+  }
+
+  dataplane::UmboxHost* host = cluster_->PickHost();
+  if (host == nullptr) {
+    IOTSEC_LOG_ERROR("cluster at capacity; cannot enforce posture for %s",
+                     md.device->spec().name.c_str());
+    if (config_.fail_closed) InstallIsolation(md);
+    return;
+  }
+  dataplane::UmboxSpec spec;
+  spec.id = next_umbox_id_++;
+  spec.device = md.device->id();
+  spec.config_text = EffectiveConfig(md, posture.umbox_config);
+  spec.boot = config_.umbox_boot;
+  dataplane::ElementContext ctx;
+  ctx.sim = &sim_;
+  ctx.context = &view_;
+  std::string error;
+  dataplane::Umbox* box = host->Launch(spec, ctx, &error);
+  if (box == nullptr) {
+    IOTSEC_LOG_ERROR("umbox launch failed for %s: %s",
+                     md.device->spec().name.c_str(), error.c_str());
+    if (config_.fail_closed) InstallIsolation(md);
+    return;
+  }
+  ++stats_.umbox_launches;
+  audit_.Record(sim_.Now(), AuditCategory::kUmbox, md.device->spec().name,
+                "launched umbox " + std::to_string(spec.id) + " (" +
+                    std::string(dataplane::BootModelName(spec.boot)) +
+                    ") for posture " + posture.profile);
+  md.umbox = spec.id;
+  // Divert immediately; the µmbox queues packets while booting, so the
+  // device keeps (delayed) connectivity instead of a blackhole.
+  InstallDiversion(md, spec.id);
+  md.posture = posture;
+}
+
+void IoTSecController::InstallDiversion(ManagedDevice& md, UmboxId umbox) {
+  RemoveDiversion(md);
+  for (auto& ms : switches_) {
+    if (ms.sw != md.sw) continue;
+    ++flow_version_;
+    const auto ip = md.device->spec().ip;
+    for (const auto& match :
+         {sdn::FlowMatch::FromIp(ip), sdn::FlowMatch::ToIp(ip)}) {
+      sdn::FlowEntry entry;
+      entry.priority = 100;
+      entry.match = match;
+      entry.actions = {sdn::FlowAction::Tunnel(umbox, ms.cluster_port)};
+      entry.cookie = 0x1000000ull + md.device->id();
+      entry.version = flow_version_;
+      ms.sw->flow_table().Install(entry);
+      ++stats_.flow_ops;
+    }
+  }
+}
+
+void IoTSecController::InstallIsolation(ManagedDevice& md) {
+  ++stats_.enforcement_failures;
+  audit_.Record(sim_.Now(), AuditCategory::kFailure,
+                md.device->spec().name,
+                "enforcement failed; fail-closed isolation installed");
+  RemoveDiversion(md);
+  for (auto& ms : switches_) {
+    if (ms.sw != md.sw) continue;
+    ++flow_version_;
+    const auto ip = md.device->spec().ip;
+    for (const auto& match :
+         {sdn::FlowMatch::FromIp(ip), sdn::FlowMatch::ToIp(ip)}) {
+      sdn::FlowEntry entry;
+      entry.priority = 100;
+      entry.match = match;
+      entry.actions = {sdn::FlowAction::Drop()};
+      entry.cookie = 0x1000000ull + md.device->id();
+      entry.version = flow_version_;
+      ms.sw->flow_table().Install(entry);
+      ++stats_.flow_ops;
+    }
+  }
+}
+
+void IoTSecController::RemoveDiversion(ManagedDevice& md) {
+  for (auto& ms : switches_) {
+    if (ms.sw != md.sw) continue;
+    stats_.flow_ops +=
+        ms.sw->flow_table().RemoveByCookie(0x1000000ull + md.device->id());
+  }
+}
+
+std::optional<UmboxId> IoTSecController::UmboxOf(DeviceId device) const {
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) return std::nullopt;
+  return it->second.umbox;
+}
+
+std::string IoTSecController::PostureProfileOf(DeviceId device) const {
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) return "";
+  return it->second.posture.profile;
+}
+
+IoTSecController::ManagedDevice* IoTSecController::FindByIp(
+    net::Ipv4Address ip) {
+  for (auto& [id, md] : devices_) {
+    if (md.device->spec().ip == ip) return &md;
+  }
+  return nullptr;
+}
+
+IoTSecController::ManagedDevice* IoTSecController::FindByUmbox(
+    UmboxId umbox) {
+  for (auto& [id, md] : devices_) {
+    if (md.umbox && *md.umbox == umbox) return &md;
+  }
+  return nullptr;
+}
+
+}  // namespace iotsec::control

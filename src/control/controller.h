@@ -1,0 +1,169 @@
+// The logically centralized IoTSec controller (§5, Figure 2).
+//
+// Responsibilities:
+//   - maintain the global view from device telemetry, environment sensor
+//     feeds and µmbox alerts (each arriving after a control latency);
+//   - infer security contexts (devices with known flaws start
+//     "unpatched"; alerts escalate to "suspicious"/"compromised");
+//   - on every view change, re-evaluate the FSM policy and diff postures;
+//   - drive the orchestrator: launch/hot-reconfigure µmboxes on the
+//     cluster and (re)program edge-switch flow tables, version-stamped
+//     for consistent updates.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/audit.h"
+#include "control/view.h"
+#include "dataplane/cluster.h"
+#include "devices/device.h"
+#include "env/environment.h"
+#include "learn/crowd.h"
+#include "policy/fsm_policy.h"
+#include "sdn/switch.h"
+
+namespace iotsec::control {
+
+struct ControllerConfig {
+  /// Event arrival -> decision latency (RPC + processing).
+  SimDuration control_latency = kMillisecond;
+  /// Per flow-table operation latency.
+  SimDuration flowmod_latency = 500 * kMicrosecond;
+  /// Isolation technology for launched µmboxes.
+  dataplane::BootModel umbox_boot = dataplane::BootModel::kMicroVm;
+  /// Alerts before a "suspicious" device is considered "compromised".
+  int compromise_threshold = 3;
+  /// Prefer hot reconfiguration over restart on posture changes.
+  bool hot_reconfig = true;
+  /// When a posture cannot be enforced (cluster full, launch failure):
+  /// true = install drop rules for the device (fail closed);
+  /// false = leave plain L2 forwarding in place (fail open).
+  bool fail_closed = true;
+};
+
+class IoTSecController final : public sdn::PacketInHandler,
+                               public net::PacketSink {
+ public:
+  IoTSecController(sim::Simulator& simulator, ControllerConfig config = {});
+
+  // ---- Wiring (called once while building the deployment).
+  void ManageSwitch(sdn::Switch* sw, int port_to_cluster);
+  void SetCluster(dataplane::Cluster* cluster);
+  /// Registers a device attached to `sw` at `port`; installs its L2 entry
+  /// and starts its context as "unpatched" (has flaws) or "normal".
+  void RegisterDevice(devices::Device* device, sdn::Switch* sw, int port);
+  /// Registers a non-device endpoint (controller uplink, WAN gateway).
+  void RegisterEndpoint(const net::MacAddress& mac, sdn::Switch* sw,
+                        int port);
+  /// Environment sensor feed: level changes reach the view after the
+  /// control latency.
+  void BindEnvironment(env::Environment* environment);
+  void SetPolicy(policy::StateSpace space, policy::FsmPolicy policy);
+
+  /// Crowd-to-enforcement pipeline (§4.1 -> §5): subscribes to the
+  /// repository for every registered device's SKU. When a signature is
+  /// accepted, the µmboxes of matching devices are hot-reconfigured with
+  /// the new rule prepended to their chains — the herd gets immunity
+  /// without anyone touching policy. Call after all devices registered.
+  void AttachCrowdRepo(learn::CrowdRepo* repo);
+
+  /// Installs base forwarding + initial postures. Call after wiring.
+  void Start();
+
+  // ---- Live interfaces.
+  void OnPacketIn(SwitchId sw, int in_port, net::PacketPtr pkt) override;
+  /// Telemetry frames addressed to the controller's hub IP.
+  void Receive(net::PacketPtr pkt, int port) override;
+  /// Alert channel from µmbox hosts (wire via UmboxHost::SetAlertSink).
+  void OnUmboxAlert(UmboxId umbox, const dataplane::Alert& alert);
+
+  /// Manually marks a device context (used by operators and tests).
+  void SetDeviceContext(const std::string& device_name,
+                        const std::string& context);
+
+  [[nodiscard]] GlobalView& view() { return view_; }
+  [[nodiscard]] const GlobalView& view() const { return view_; }
+  [[nodiscard]] const AuditLog& audit() const { return audit_; }
+
+  [[nodiscard]] const net::MacAddress& hub_mac() const { return hub_mac_; }
+  [[nodiscard]] net::Ipv4Address hub_ip() const { return hub_ip_; }
+  void SetHubAddress(net::MacAddress mac, net::Ipv4Address ip) {
+    hub_mac_ = mac;
+    hub_ip_ = ip;
+  }
+
+  /// The µmbox currently enforcing a device's posture (if any).
+  [[nodiscard]] std::optional<UmboxId> UmboxOf(DeviceId device) const;
+  [[nodiscard]] std::string PostureProfileOf(DeviceId device) const;
+
+  struct Stats {
+    std::uint64_t telemetry_events = 0;
+    std::uint64_t env_events = 0;
+    std::uint64_t alerts = 0;
+    std::uint64_t packet_ins = 0;
+    std::uint64_t policy_evals = 0;
+    std::uint64_t umbox_launches = 0;
+    std::uint64_t umbox_reconfigs = 0;
+    std::uint64_t flow_ops = 0;
+    std::uint64_t posture_changes = 0;
+    std::uint64_t enforcement_failures = 0;  // fail-closed isolations
+    std::uint64_t crowd_rules_applied = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct ManagedDevice {
+    devices::Device* device = nullptr;
+    sdn::Switch* sw = nullptr;
+    int port = -1;
+    policy::Posture posture;  // currently enforced
+    std::optional<UmboxId> umbox;
+    int alert_count = 0;
+  };
+  struct ManagedSwitch {
+    sdn::Switch* sw = nullptr;
+    int cluster_port = -1;
+  };
+
+  void ScheduleReevaluate();
+  void Reevaluate();
+  void ApplyPosture(ManagedDevice& md, const policy::Posture& posture);
+  /// Adds the crowd rules for the device's SKU in front of its chain.
+  [[nodiscard]] std::string EffectiveConfig(const ManagedDevice& md,
+                                            const std::string& config) const;
+  void OnCrowdSignature(const std::string& sku);
+  void InstallDiversion(ManagedDevice& md, UmboxId umbox);
+  void RemoveDiversion(ManagedDevice& md);
+  /// Fail-closed fallback: isolates the device at the switch.
+  void InstallIsolation(ManagedDevice& md);
+  void EscalateContext(const std::string& device_name, ManagedDevice& md);
+
+  [[nodiscard]] ManagedDevice* FindByIp(net::Ipv4Address ip);
+  [[nodiscard]] ManagedDevice* FindByUmbox(UmboxId umbox);
+
+  sim::Simulator& sim_;
+  ControllerConfig config_;
+  GlobalView view_;
+  dataplane::Cluster* cluster_ = nullptr;
+  std::vector<ManagedSwitch> switches_;
+  std::map<DeviceId, ManagedDevice> devices_;
+  policy::StateSpace space_;
+  policy::FsmPolicy policy_;
+  bool started_ = false;
+  bool reeval_pending_ = false;
+  UmboxId next_umbox_id_ = 1;
+  std::uint64_t flow_version_ = 1;
+  net::MacAddress hub_mac_ = net::MacAddress::FromId(0xC0117701);
+  net::Ipv4Address hub_ip_ = net::Ipv4Address(10, 0, 0, 1);
+  AuditLog audit_;
+  learn::CrowdRepo* crowd_repo_ = nullptr;
+  /// Accepted crowd rule texts per SKU, ready to splice into chains.
+  std::map<std::string, std::vector<std::string>> crowd_rules_;
+  Stats stats_;
+};
+
+}  // namespace iotsec::control

@@ -1,0 +1,164 @@
+#include "control/hierarchy.h"
+
+#include <memory>
+#include <numeric>
+
+namespace iotsec::control {
+
+std::vector<std::vector<std::string>> PartitionByInteraction(
+    const std::vector<std::string>& devices,
+    const std::vector<std::pair<std::string, std::string>>& edges) {
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < devices.size(); ++i) index[devices[i]] = i;
+
+  std::vector<std::size_t> parent(devices.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : edges) {
+    const auto ia = index.find(a);
+    const auto ib = index.find(b);
+    if (ia == index.end() || ib == index.end()) continue;
+    parent[find(ia->second)] = find(ib->second);
+  }
+
+  std::map<std::size_t, std::vector<std::string>> groups;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    groups[find(i)].push_back(devices[i]);
+  }
+  std::vector<std::vector<std::string>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+void EventProcessor::Submit(std::function<void(SimTime)> done) {
+  const SimTime now = sim_.Now();
+  const SimTime start = busy_until_ > now ? busy_until_ : now;
+  busy_until_ = start + service_time_;
+  ++queue_depth_;
+  sim_.At(busy_until_, [this, done = std::move(done)] {
+    ++processed_;
+    --queue_depth_;
+    done(sim_.Now());
+  });
+}
+
+namespace {
+
+/// Drives a Poisson event stream per device; `route` decides which
+/// processor chain an event traverses and returns the total RTT overhead.
+HierarchyResult RunScenario(
+    const HierarchyScenario& scenario,
+    const std::function<void(sim::Simulator&, int device,
+                             SimTime emitted, HierarchyResult&)>& route) {
+  sim::Simulator sim;
+  HierarchyResult result;
+  Rng rng(scenario.seed);
+
+  const double mean_gap_s = 1.0 / scenario.event_rate_per_device_hz;
+  for (int d = 0; d < scenario.num_devices; ++d) {
+    // Stagger event generation with per-device exponential gaps.
+    auto schedule_next = std::make_shared<std::function<void()>>();
+    const SimTime first =
+        static_cast<SimTime>(rng.NextExponential(mean_gap_s) * kSecond);
+    auto gap_rng = std::make_shared<Rng>(rng.Fork());
+    *schedule_next = [&sim, &result, &route, &scenario, d, gap_rng,
+                      schedule_next, mean_gap_s] {
+      if (sim.Now() >= scenario.duration) return;
+      route(sim, d, sim.Now(), result);
+      ++result.events;
+      const auto gap = static_cast<SimDuration>(
+          gap_rng->NextExponential(mean_gap_s) * kSecond);
+      sim.After(gap, *schedule_next);
+    };
+    sim.At(first, *schedule_next);
+  }
+  sim.RunUntil(scenario.duration + 5 * kSecond);
+  return result;
+}
+
+}  // namespace
+
+HierarchyResult RunFlat(const HierarchyScenario& scenario) {
+  sim::Simulator* sim_ptr = nullptr;
+  std::unique_ptr<EventProcessor> global;
+  HierarchyResult out;
+
+  out = RunScenario(
+      scenario,
+      [&](sim::Simulator& sim, int device, SimTime emitted,
+          HierarchyResult& result) {
+        (void)device;
+        if (sim_ptr != &sim) {
+          sim_ptr = &sim;
+          global = std::make_unique<EventProcessor>(
+              sim, scenario.global_service);
+        }
+        // device -> global controller RTT, then global processing.
+        sim.After(scenario.global_rtt / 2, [&, emitted] {
+          global->Submit([&result, emitted, &sim,
+                          rtt = scenario.global_rtt](SimTime) {
+            const SimTime done = sim.Now() + rtt / 2;
+            result.latency_us.Add(
+                static_cast<double>(done - emitted) / kMicrosecond);
+          });
+        });
+        ++result.escalated;
+      });
+  return out;
+}
+
+HierarchyResult RunHierarchical(const HierarchyScenario& scenario) {
+  sim::Simulator* sim_ptr = nullptr;
+  std::vector<std::unique_ptr<EventProcessor>> locals;
+  std::unique_ptr<EventProcessor> global;
+  Rng cross_rng(scenario.seed ^ 0x5eed);
+
+  return RunScenario(
+      scenario,
+      [&](sim::Simulator& sim, int device, SimTime emitted,
+          HierarchyResult& result) {
+        if (sim_ptr != &sim) {
+          sim_ptr = &sim;
+          locals.clear();
+          for (int p = 0; p < scenario.num_partitions; ++p) {
+            locals.push_back(std::make_unique<EventProcessor>(
+                sim, scenario.local_service));
+          }
+          global =
+              std::make_unique<EventProcessor>(sim, scenario.global_service);
+        }
+        const int partition = device % scenario.num_partitions;
+        const bool cross =
+            cross_rng.NextBool(scenario.cross_partition_fraction);
+        sim.After(scenario.local_rtt / 2, [&, partition, cross, emitted] {
+          locals[static_cast<std::size_t>(partition)]->Submit(
+              [&, cross, emitted](SimTime) {
+                if (!cross) {
+                  const SimTime done = sim.Now() + scenario.local_rtt / 2;
+                  result.latency_us.Add(
+                      static_cast<double>(done - emitted) / kMicrosecond);
+                  return;
+                }
+                ++result.escalated;
+                sim.After(scenario.global_rtt / 2, [&, emitted] {
+                  global->Submit([&, emitted](SimTime) {
+                    const SimTime done =
+                        sim.Now() + scenario.global_rtt / 2 +
+                        scenario.local_rtt / 2;
+                    result.latency_us.Add(
+                        static_cast<double>(done - emitted) / kMicrosecond);
+                  });
+                });
+              });
+        });
+      });
+}
+
+}  // namespace iotsec::control

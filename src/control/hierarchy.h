@@ -1,0 +1,80 @@
+// Hierarchical control-plane scaling (§5.1).
+//
+// The paper proposes partitioning devices by interaction frequency:
+// frequently interacting groups are served by a low-level controller,
+// cross-group coordination by the global controller. This module provides
+// (a) the interaction-graph partitioner and (b) a queueing model — single
+// FIFO server per controller on the simulation clock — that benches F2
+// uses to compare flat vs hierarchical designs under load.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace iotsec::control {
+
+/// Groups devices into partitions: devices connected by interaction edges
+/// (explicit traffic, physical coupling, automation recipes) end up
+/// together; isolated devices get singleton partitions.
+std::vector<std::vector<std::string>> PartitionByInteraction(
+    const std::vector<std::string>& devices,
+    const std::vector<std::pair<std::string, std::string>>& edges);
+
+/// Single-server FIFO queue on simulated time: the processing model of
+/// one controller instance.
+class EventProcessor {
+ public:
+  EventProcessor(sim::Simulator& simulator, SimDuration service_time)
+      : sim_(simulator), service_time_(service_time) {}
+
+  /// Enqueues one event; `done` fires when processing completes.
+  void Submit(std::function<void(SimTime)> done);
+
+  [[nodiscard]] std::uint64_t Processed() const { return processed_; }
+  [[nodiscard]] std::size_t QueueDepth() const { return queue_depth_; }
+
+ private:
+  sim::Simulator& sim_;
+  SimDuration service_time_;
+  SimTime busy_until_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t queue_depth_ = 0;
+};
+
+struct HierarchyScenario {
+  int num_devices = 100;
+  int num_partitions = 10;
+  double event_rate_per_device_hz = 5.0;
+  SimDuration duration = 30 * kSecond;
+  /// Fraction of events whose policy consequences cross partitions and
+  /// must be escalated to the global controller.
+  double cross_partition_fraction = 0.1;
+  SimDuration local_rtt = 400 * kMicrosecond;
+  SimDuration global_rtt = 4 * kMillisecond;
+  SimDuration local_service = 40 * kMicrosecond;
+  SimDuration global_service = 60 * kMicrosecond;
+  std::uint64_t seed = 7;
+};
+
+struct HierarchyResult {
+  SampleStats latency_us;  // event occurrence -> decision applied
+  std::uint64_t events = 0;
+  std::uint64_t escalated = 0;  // handled by the global controller
+};
+
+/// Every event goes to the single global controller.
+HierarchyResult RunFlat(const HierarchyScenario& scenario);
+
+/// Events go to per-partition local controllers; only the
+/// cross-partition fraction escalates to the global controller.
+HierarchyResult RunHierarchical(const HierarchyScenario& scenario);
+
+}  // namespace iotsec::control

@@ -1,0 +1,89 @@
+#include "control/view.h"
+
+#include "common/strings.h"
+
+namespace iotsec::control {
+
+void GlobalView::SetDeviceState(const std::string& device,
+                                std::string state) {
+  auto& slot = device_state_[device];
+  if (slot == state) return;
+  slot = std::move(state);
+  ++version_;
+}
+
+void GlobalView::SetDeviceContext(const std::string& device,
+                                  std::string context) {
+  auto& slot = device_context_[device];
+  if (slot == context) return;
+  slot = std::move(context);
+  ++version_;
+}
+
+void GlobalView::SetEnvLevel(const std::string& variable, std::string level) {
+  auto& slot = env_level_[variable];
+  if (slot == level) return;
+  slot = std::move(level);
+  ++version_;
+}
+
+std::optional<std::string> GlobalView::DeviceState(
+    const std::string& device) const {
+  const auto it = device_state_.find(device);
+  if (it == device_state_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> GlobalView::DeviceContext(
+    const std::string& device) const {
+  const auto it = device_context_.find(device);
+  if (it == device_context_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> GlobalView::EnvLevel(
+    const std::string& variable) const {
+  const auto it = env_level_.find(variable);
+  if (it == env_level_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> GlobalView::Get(const std::string& key) const {
+  if (StartsWith(key, "env.")) {
+    return EnvLevel(key.substr(4));
+  }
+  if (StartsWith(key, "device.")) {
+    const auto rest = key.substr(7);
+    if (EndsWith(rest, ".state")) {
+      return DeviceState(rest.substr(0, rest.size() - 6));
+    }
+    if (EndsWith(rest, ".context")) {
+      return DeviceContext(rest.substr(0, rest.size() - 8));
+    }
+  }
+  return std::nullopt;
+}
+
+policy::SystemState GlobalView::ToSystemState(
+    const policy::StateSpace& space) const {
+  policy::SystemState state = space.InitialState();
+  for (std::size_t i = 0; i < space.DimensionCount(); ++i) {
+    const auto& dim = space.Dim(i);
+    std::optional<std::string> value;
+    if (StartsWith(dim.name, "ctx:")) {
+      value = DeviceContext(dim.name.substr(4));
+    } else if (StartsWith(dim.name, "dev:")) {
+      value = DeviceState(dim.name.substr(4));
+    } else if (StartsWith(dim.name, "env:")) {
+      value = EnvLevel(dim.name.substr(4));
+    }
+    if (value) {
+      if (auto idx = dim.IndexOf(*value)) {
+        state.values[i] = *idx;
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace iotsec::control

@@ -1,0 +1,55 @@
+// The controller's versioned global view (§5.1).
+//
+// Holds the last-known FSM state and security context of every device and
+// the discretized environment levels — the S_k the policy layer evaluates.
+// Every mutation bumps a version; the enforcement layer stamps flow rules
+// with the version they were derived from, which is what makes two-phase
+// consistent updates possible under the churn the paper worries about.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "dataplane/element.h"
+#include "policy/state_space.h"
+
+namespace iotsec::control {
+
+class GlobalView final : public dataplane::ContextView {
+ public:
+  void SetDeviceState(const std::string& device, std::string state);
+  void SetDeviceContext(const std::string& device, std::string context);
+  void SetEnvLevel(const std::string& variable, std::string level);
+
+  [[nodiscard]] std::optional<std::string> DeviceState(
+      const std::string& device) const;
+  [[nodiscard]] std::optional<std::string> DeviceContext(
+      const std::string& device) const;
+  [[nodiscard]] std::optional<std::string> EnvLevel(
+      const std::string& variable) const;
+
+  /// Monotonic version; bumped by every mutation.
+  [[nodiscard]] std::uint64_t Version() const { return version_; }
+
+  /// dataplane::ContextView — keys "device.<name>.state",
+  /// "device.<name>.context", "env.<var>".
+  [[nodiscard]] std::optional<std::string> Get(
+      const std::string& key) const override;
+
+  /// Projects the view onto a policy state space: dimension "ctx:<name>"
+  /// reads the device context, "dev:<name>" the device state, and
+  /// "env:<var>" the environment level. Unknown values fall back to the
+  /// dimension's value 0.
+  [[nodiscard]] policy::SystemState ToSystemState(
+      const policy::StateSpace& space) const;
+
+ private:
+  std::map<std::string, std::string> device_state_;
+  std::map<std::string, std::string> device_context_;
+  std::map<std::string, std::string> env_level_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace iotsec::control

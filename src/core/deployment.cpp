@@ -1,0 +1,245 @@
+#include "core/deployment.h"
+
+namespace iotsec::core {
+
+Deployment::Deployment(DeploymentOptions options)
+    : options_(std::move(options)) {
+  env_ = env::MakeSmartHomeEnvironment();
+  env_->AttachTo(sim_, options_.env_tick);
+
+  switch_ = std::make_unique<sdn::Switch>(
+      /*id=*/1, sim_,
+      options_.with_iotsec ? sdn::Switch::MissBehavior::kToController
+                           : sdn::Switch::MissBehavior::kFlood);
+
+  controller_ =
+      std::make_unique<control::IoTSecController>(sim_, options_.controller);
+
+  // Controller uplink (telemetry + PacketIn path share the hub port).
+  net::Link* ctrl_link = NewLink();
+  const int ctrl_port = switch_->AttachLink(ctrl_link, 0);
+  ctrl_link->Attach(1, controller_.get(), 0);
+  switch_->SetMacPort(controller_->hub_mac(), ctrl_port);
+
+  // µmbox cluster: one uplink per host; every host reachable from the
+  // switch through its cluster port (first host's port doubles as the
+  // switch's tunnel port — single-host deployments are the common case).
+  int first_cluster_port = -1;
+  for (int h = 0; h < options_.cluster_hosts; ++h) {
+    auto host = std::make_unique<dataplane::UmboxHost>(
+        static_cast<ServerId>(h + 1), sim_, options_.host_capacity);
+    net::Link* link = NewLink();
+    const int port = switch_->AttachLink(link, 0);
+    host->ConnectUplink(link, 1);
+    if (first_cluster_port < 0) first_cluster_port = port;
+    cluster_.AddHost(host.get());
+    hosts_.push_back(std::move(host));
+  }
+
+  if (options_.with_iotsec) {
+    controller_->ManageSwitch(switch_.get(), first_cluster_port);
+    controller_->SetCluster(&cluster_);
+    controller_->BindEnvironment(env_.get());
+  }
+
+  // Attacker vantage point.
+  const auto attacker_mac = net::MacAddress::FromId(0xa77ac);
+  const auto attacker_ip = options_.wan_attacker
+                               ? net::Ipv4Address(203, 0, 113, 66)
+                               : net::Ipv4Address(10, 0, 0, 200);
+  attacker_ = std::make_unique<devices::Attacker>(attacker_mac, attacker_ip,
+                                                  sim_);
+  if (options_.wan_attacker) {
+    gateway_ = std::make_unique<baseline::PerimeterGateway>(sim_);
+    net::Link* wan_link = NewLink();
+    net::Link* lan_link = NewLink();
+    attacker_->ConnectUplink(wan_link, 0);
+    gateway_->ConnectWan(wan_link, 1);
+    gateway_->ConnectLan(lan_link, 0);
+    const int gw_port = switch_->AttachLink(lan_link, 1);
+    switch_->SetMacPort(attacker_mac, gw_port);
+    if (options_.with_iotsec) {
+      controller_->RegisterEndpoint(attacker_mac, switch_.get(), gw_port);
+    }
+  } else {
+    net::Link* link = NewLink();
+    attacker_->ConnectUplink(link, 0);
+    const int port = switch_->AttachLink(link, 1);
+    switch_->SetMacPort(attacker_mac, port);
+    if (options_.with_iotsec) {
+      controller_->RegisterEndpoint(attacker_mac, switch_.get(), port);
+    }
+  }
+}
+
+Deployment::~Deployment() = default;
+
+net::Link* Deployment::NewLink() {
+  links_.push_back(std::make_unique<net::Link>(sim_, options_.link));
+  return links_.back().get();
+}
+
+devices::DeviceSpec Deployment::MakeSpec(
+    const std::string& name, devices::DeviceClass cls,
+    std::set<devices::Vulnerability> vulns, std::string credential) {
+  devices::DeviceSpec spec;
+  spec.id = next_device_id_++;
+  spec.name = name;
+  spec.cls = cls;
+  spec.vendor = "Generic";
+  spec.sku = "Generic-" + std::string(devices::DeviceClassName(cls));
+  spec.mac = net::MacAddress::FromId(spec.id);
+  spec.ip = net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(
+                                           next_host_octet_++));
+  spec.vulns = std::move(vulns);
+  spec.credential = std::move(credential);
+  spec.hub_ip = controller_->hub_ip();
+  spec.hub_mac = controller_->hub_mac();
+  return spec;
+}
+
+devices::Device* Deployment::Attach(std::unique_ptr<devices::Device> device) {
+  devices::Device* ptr = registry_.Add(std::move(device));
+  net::Link* link = NewLink();
+  ptr->ConnectUplink(link, 0);
+  const int port = switch_->AttachLink(link, 1);
+  switch_->SetMacPort(ptr->spec().mac, port);
+  controller_->RegisterDevice(ptr, switch_.get(), port);
+  return ptr;
+}
+
+devices::Camera* Deployment::AddCamera(const std::string& name,
+                                       std::set<devices::Vulnerability> vulns,
+                                       std::string credential) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kCamera, std::move(vulns),
+                       std::move(credential));
+  spec.vendor = "Avtech";
+  spec.sku = "Avtech-AVN801";
+  spec.ram_kb = 8 * 1024;
+  return static_cast<devices::Camera*>(Attach(
+      std::make_unique<devices::Camera>(std::move(spec), sim_, env_.get())));
+}
+
+devices::SmartPlug* Deployment::AddSmartPlug(
+    const std::string& name, std::string attached_env_var,
+    std::set<devices::Vulnerability> vulns, std::string credential) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kSmartPlug,
+                       std::move(vulns), std::move(credential));
+  spec.vendor = "Belkin";
+  spec.sku = "Wemo-Insight";
+  spec.ram_kb = 2 * 1024;
+  return static_cast<devices::SmartPlug*>(
+      Attach(std::make_unique<devices::SmartPlug>(
+          std::move(spec), sim_, env_.get(), std::move(attached_env_var))));
+}
+
+devices::FireAlarm* Deployment::AddFireAlarm(const std::string& name) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kFireAlarm);
+  spec.vendor = "Nest";
+  spec.sku = "Nest-Protect";
+  spec.ram_kb = 1024;
+  return static_cast<devices::FireAlarm*>(Attach(
+      std::make_unique<devices::FireAlarm>(std::move(spec), sim_,
+                                           env_.get())));
+}
+
+devices::WindowActuator* Deployment::AddWindow(const std::string& name,
+                                               std::string credential) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kWindowActuator, {},
+                       std::move(credential));
+  spec.ram_kb = 512;
+  return static_cast<devices::WindowActuator*>(
+      Attach(std::make_unique<devices::WindowActuator>(std::move(spec), sim_,
+                                                       env_.get())));
+}
+
+devices::LightBulb* Deployment::AddLightBulb(const std::string& name) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kLightBulb);
+  spec.vendor = "Philips";
+  spec.sku = "Hue-A19";
+  spec.ram_kb = 256;
+  return static_cast<devices::LightBulb*>(Attach(
+      std::make_unique<devices::LightBulb>(std::move(spec), sim_,
+                                           env_.get())));
+}
+
+devices::LightSensor* Deployment::AddLightSensor(const std::string& name) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kLightSensor);
+  spec.ram_kb = 128;
+  return static_cast<devices::LightSensor*>(Attach(
+      std::make_unique<devices::LightSensor>(std::move(spec), sim_,
+                                             env_.get())));
+}
+
+devices::Thermostat* Deployment::AddThermostat(const std::string& name) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kThermostat);
+  spec.vendor = "Nest";
+  spec.sku = "Nest-T3";
+  spec.ram_kb = 4 * 1024;
+  return static_cast<devices::Thermostat*>(Attach(
+      std::make_unique<devices::Thermostat>(std::move(spec), sim_,
+                                            env_.get())));
+}
+
+devices::MotionSensor* Deployment::AddMotionSensor(const std::string& name) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kMotionSensor);
+  spec.ram_kb = 128;
+  return static_cast<devices::MotionSensor*>(Attach(
+      std::make_unique<devices::MotionSensor>(std::move(spec), sim_,
+                                              env_.get())));
+}
+
+devices::SmartLock* Deployment::AddSmartLock(const std::string& name) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kSmartLock);
+  spec.ram_kb = 512;
+  return static_cast<devices::SmartLock*>(Attach(
+      std::make_unique<devices::SmartLock>(std::move(spec), sim_,
+                                           env_.get())));
+}
+
+devices::SmartOven* Deployment::AddSmartOven(const std::string& name) {
+  auto spec = MakeSpec(name, devices::DeviceClass::kSmartOven);
+  spec.ram_kb = 2 * 1024;
+  return static_cast<devices::SmartOven*>(Attach(
+      std::make_unique<devices::SmartOven>(std::move(spec), sim_,
+                                           env_.get())));
+}
+
+policy::StateSpace Deployment::BuildStateSpace() const {
+  policy::StateSpace space;
+  for (const devices::Device* device : registry_.All()) {
+    const auto& name = device->spec().name;
+    space.AddDimension({policy::StateSpace::ContextDim(name),
+                        policy::DimensionKind::kDeviceContext,
+                        device->id(),
+                        policy::DefaultSecurityContexts()});
+    const auto* model = library_.For(device->spec().cls);
+    std::vector<std::string> states =
+        model != nullptr && !model->states.empty()
+            ? model->states
+            : std::vector<std::string>{device->State()};
+    space.AddDimension({policy::StateSpace::StateDim(name),
+                        policy::DimensionKind::kDeviceState,
+                        device->id(), std::move(states)});
+  }
+  for (const auto& var : env_->VariableNames()) {
+    space.AddDimension({policy::StateSpace::EnvDim(var),
+                        policy::DimensionKind::kEnvVar, kInvalidDevice,
+                        env_->LevelNames(var)});
+  }
+  return space;
+}
+
+void Deployment::UsePolicy(policy::StateSpace space,
+                           policy::FsmPolicy policy) {
+  controller_->SetPolicy(std::move(space), std::move(policy));
+}
+
+void Deployment::Start() {
+  if (started_) return;
+  started_ = true;
+  registry_.StartAll();
+  if (options_.with_iotsec) controller_->Start();
+}
+
+}  // namespace iotsec::core

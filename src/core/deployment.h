@@ -1,0 +1,141 @@
+// The top-level public API: a complete simulated IoT deployment.
+//
+// A Deployment wires the whole Figure 2 architecture — edge switch,
+// devices, physical environment, attacker vantage point, µmbox cluster
+// and the IoTSec controller — or, with `with_iotsec=false`, the
+// unmanaged "current world" the paper contrasts against (plain flooding
+// L2 switch, optional perimeter firewall at the WAN edge).
+//
+// Quickstart:
+//   core::Deployment dep;                       // IoTSec-managed home
+//   auto* cam = dep.AddCamera("cam", {Vulnerability::kDefaultPassword},
+//                             "admin");
+//   dep.UsePolicy(space, policy);
+//   dep.Start();
+//   dep.RunFor(5 * kSecond);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/baseline.h"
+#include "control/controller.h"
+#include "dataplane/cluster.h"
+#include "devices/attacker.h"
+#include "devices/models.h"
+#include "devices/registry.h"
+#include "env/dynamics.h"
+#include "learn/model_library.h"
+#include "sdn/switch.h"
+
+namespace iotsec::core {
+
+struct DeploymentOptions {
+  /// true: SDN switch + controller + µmbox cluster. false: unmanaged
+  /// flooding L2 switch ("current world" baseline).
+  bool with_iotsec = true;
+  /// Put the attacker beyond a perimeter firewall (WAN vantage) instead
+  /// of on the LAN.
+  bool wan_attacker = false;
+  control::ControllerConfig controller;
+  int cluster_hosts = 1;
+  int host_capacity = 64;
+  net::LinkConfig link;
+  /// Environment tick (dynamics integration step).
+  SimDuration env_tick = 500 * kMillisecond;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentOptions options = {});
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  // ---- Accessors.
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] env::Environment& environment() { return *env_; }
+  [[nodiscard]] devices::DeviceRegistry& registry() { return registry_; }
+  [[nodiscard]] sdn::Switch& edge() { return *switch_; }
+  [[nodiscard]] control::IoTSecController& controller() {
+    return *controller_;
+  }
+  [[nodiscard]] dataplane::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] devices::Attacker& attacker() { return *attacker_; }
+  [[nodiscard]] baseline::PerimeterGateway* gateway() {
+    return gateway_.get();
+  }
+  [[nodiscard]] const DeploymentOptions& options() const { return options_; }
+  [[nodiscard]] net::Ipv4Prefix lan_prefix() const {
+    return net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 24);
+  }
+
+  // ---- Building.
+  /// Allocates a spec (id, MAC, IP, hub address) for a new device.
+  devices::DeviceSpec MakeSpec(const std::string& name,
+                               devices::DeviceClass cls,
+                               std::set<devices::Vulnerability> vulns = {},
+                               std::string credential = "secret-token");
+
+  /// Attaches an already-constructed device to the edge switch and
+  /// registers it with the controller.
+  devices::Device* Attach(std::unique_ptr<devices::Device> device);
+
+  // Convenience creators for the common classes.
+  devices::Camera* AddCamera(const std::string& name,
+                             std::set<devices::Vulnerability> vulns = {},
+                             std::string credential = "secret-token");
+  devices::SmartPlug* AddSmartPlug(const std::string& name,
+                                   std::string attached_env_var,
+                                   std::set<devices::Vulnerability> vulns = {},
+                                   std::string credential = "secret-token");
+  devices::FireAlarm* AddFireAlarm(const std::string& name);
+  devices::WindowActuator* AddWindow(const std::string& name,
+                                     std::string credential = "secret-token");
+  devices::LightBulb* AddLightBulb(const std::string& name);
+  devices::LightSensor* AddLightSensor(const std::string& name);
+  devices::Thermostat* AddThermostat(const std::string& name);
+  devices::MotionSensor* AddMotionSensor(const std::string& name);
+  devices::SmartLock* AddSmartLock(const std::string& name);
+  devices::SmartOven* AddSmartOven(const std::string& name);
+
+  /// Builds the policy state space for the current device set: one
+  /// "ctx:" dimension per device (security contexts), one "dev:"
+  /// dimension per device (class FSM states), one "env:" dimension per
+  /// environment variable.
+  [[nodiscard]] policy::StateSpace BuildStateSpace() const;
+
+  void UsePolicy(policy::StateSpace space, policy::FsmPolicy policy);
+
+  /// Boots devices (and the controller when IoTSec is on).
+  void Start();
+  void RunFor(SimDuration d) { sim_.RunFor(d); }
+
+  /// Convenience lookups for tests/benches.
+  [[nodiscard]] devices::Device* Find(const std::string& name) const {
+    return registry_.ByName(name);
+  }
+
+ private:
+  net::Link* NewLink();
+
+  DeploymentOptions options_;
+  sim::Simulator sim_;
+  std::unique_ptr<env::Environment> env_;
+  devices::DeviceRegistry registry_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::unique_ptr<sdn::Switch> switch_;
+  std::unique_ptr<control::IoTSecController> controller_;
+  std::vector<std::unique_ptr<dataplane::UmboxHost>> hosts_;
+  dataplane::Cluster cluster_;
+  std::unique_ptr<devices::Attacker> attacker_;
+  std::unique_ptr<baseline::PerimeterGateway> gateway_;
+  learn::ModelLibrary library_ = learn::ModelLibrary::Builtin();
+  DeviceId next_device_id_ = 10;
+  std::uint32_t next_host_octet_ = 10;
+  bool started_ = false;
+};
+
+}  // namespace iotsec::core

@@ -1,0 +1,23 @@
+// Umbrella header: the IoTSec public API.
+//
+// Downstream users normally need only this header. See README.md for a
+// walkthrough and examples/ for runnable programs.
+#pragma once
+
+#include "baseline/baseline.h"       // traditional-IT comparators
+#include "control/controller.h"      // the IoTSec controller
+#include "control/hierarchy.h"       // hierarchical control-plane models
+#include "core/deployment.h"         // deployment builder / facade
+#include "core/postures.h"           // canonical posture builders
+#include "dataplane/cluster.h"       // µmbox hosts and placement
+#include "dataplane/elements.h"      // Click-lite element library
+#include "devices/attacker.h"        // adversary primitives
+#include "devices/models.h"          // device models
+#include "env/dynamics.h"            // physical environment
+#include "learn/attack_graph.h"      // multi-stage attack analysis
+#include "learn/crowd.h"             // crowd-sourced signature repo
+#include "learn/fuzzer.h"            // cross-device interaction fuzzer
+#include "policy/analysis.h"         // state-explosion + conflict analysis
+#include "policy/ifttt.h"            // IFTTT strawman + Table 2 corpus
+#include "policy/match_action.h"     // firewall strawman
+#include "sig/corpus.h"              // built-in signature corpus

@@ -1,0 +1,92 @@
+#include "core/postures.h"
+
+namespace iotsec::core {
+
+policy::Posture TrustPosture() {
+  policy::Posture p;
+  p.profile = "trust";
+  p.umbox_config.clear();
+  p.tunnel = false;
+  return p;
+}
+
+policy::Posture MonitorPosture() {
+  policy::Posture p;
+  p.profile = "monitor";
+  p.umbox_config =
+      "count :: Counter()\n"
+      "sig :: SignatureMatcher(rules=builtin)\n"
+      "count -> sig\n";
+  return p;
+}
+
+policy::Posture QuarantinePosture() {
+  policy::Posture p;
+  p.profile = "quarantine";
+  p.umbox_config =
+      "count :: Counter()\n"
+      "sink :: Discard()\n"
+      "count -> sink\n";
+  return p;
+}
+
+policy::Posture FirewallPosture(const net::Ipv4Prefix& inside) {
+  policy::Posture p;
+  p.profile = "firewall";
+  p.umbox_config =
+      "fw :: StatefulFirewall(allow_inbound=false, inside=" +
+      inside.ToString() +
+      ")\n"
+      "sig :: SignatureMatcher(rules=builtin)\n"
+      "fw -> sig\n";
+  return p;
+}
+
+policy::Posture PasswordProxyPosture(net::Ipv4Address device_ip,
+                                     const std::string& admin_user,
+                                     const std::string& admin_password,
+                                     const std::string& device_user,
+                                     const std::string& device_password) {
+  policy::Posture p;
+  p.profile = "password_proxy";
+  p.umbox_config =
+      "proxy :: PasswordProxy(device_ip=" + device_ip.ToString() +
+      ", user=" + admin_user + ", password=" + admin_password +
+      ", device_user=" + device_user + ", device_password=" +
+      device_password +
+      ")\n"
+      "sig :: SignatureMatcher(rules=builtin)\n"
+      "proxy -> sig\n";
+  return p;
+}
+
+policy::Posture ContextGatePosture(proto::IotCommand cmd,
+                                   const std::string& context_key,
+                                   const std::string& required_value) {
+  policy::Posture p;
+  p.profile = "context_gate(" + context_key + "==" + required_value + ")";
+  p.umbox_config =
+      "gate :: ContextGate(cmd=" + std::string(proto::CommandName(cmd)) +
+      ", key=" + context_key + ", equals=" + required_value +
+      ", else=drop)\n"
+      "sig :: SignatureMatcher(rules=builtin)\n"
+      "gate -> sig\n";
+  return p;
+}
+
+policy::Posture DnsGuardPosture(const net::Ipv4Prefix& lan, double rate_pps) {
+  policy::Posture p;
+  p.profile = "dns_guard";
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.1f", rate_pps);
+  p.umbox_config =
+      "guard :: DnsGuard(allow_any=false, expected_clients=" +
+      lan.ToString() +
+      ")\n"
+      "limit :: RateLimiter(rate_pps=" + std::string(rate) +
+      ", burst=20)\n"
+      "guard -> limit\n";
+  return p;
+}
+
+}  // namespace iotsec::core

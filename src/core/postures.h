@@ -1,0 +1,50 @@
+// Canonical posture builders.
+//
+// A posture bundles a Click-lite µmbox graph with a profile name; these
+// helpers generate the configurations used throughout the examples,
+// tests and benches (and serve as worked examples of the config
+// language).
+#pragma once
+
+#include <string>
+
+#include "net/address.h"
+#include "policy/fsm_policy.h"
+#include "proto/iotctl.h"
+
+namespace iotsec::core {
+
+/// No µmbox at all: traffic flows directly (the "trusted" posture).
+policy::Posture TrustPosture();
+
+/// Baseline inspection: signature matching over the built-in corpus plus
+/// per-device accounting.
+policy::Posture MonitorPosture();
+
+/// Everything to/from the device is dropped (incident response).
+policy::Posture QuarantinePosture();
+
+/// Monitor + unsolicited-inbound firewalling for a LAN prefix.
+policy::Posture FirewallPosture(const net::Ipv4Prefix& inside);
+
+/// The Figure 4 password gateway: re-authenticates HTTP management
+/// traffic, rewriting the administrator's credential to the device's
+/// unfixable hardcoded one.
+policy::Posture PasswordProxyPosture(net::Ipv4Address device_ip,
+                                     const std::string& admin_user,
+                                     const std::string& admin_password,
+                                     const std::string& device_user,
+                                     const std::string& device_password);
+
+/// The Figure 5 cross-device gate: `cmd` toward the device passes only
+/// while `context_key` equals `required_value`; plus signature matching.
+policy::Posture ContextGatePosture(proto::IotCommand cmd,
+                                   const std::string& context_key,
+                                   const std::string& required_value);
+
+/// Open-resolver containment: DNS ANY and off-LAN queries are dropped,
+/// plus a rate limiter for what remains.
+policy::Posture DnsGuardPosture(const net::Ipv4Prefix& lan,
+                                double rate_pps = 50.0);
+
+}  // namespace iotsec::core

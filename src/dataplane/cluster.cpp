@@ -1,0 +1,134 @@
+#include "dataplane/cluster.h"
+
+#include "common/log.h"
+#include "proto/frame.h"
+
+namespace iotsec::dataplane {
+
+void UmboxHost::ConnectUplink(net::Link* link, int my_end) {
+  uplink_ = link;
+  uplink_end_ = my_end;
+  link->Attach(my_end, this, 0);
+}
+
+Umbox* UmboxHost::Launch(UmboxSpec spec, const ElementContext& ctx,
+                         std::string* error,
+                         std::function<void()> on_ready) {
+  if (load() >= capacity_) {
+    if (error) *error = "host at capacity";
+    return nullptr;
+  }
+  const UmboxId id = spec.id;
+  if (boxes_.count(id)) {
+    if (error) *error = "duplicate umbox id";
+    return nullptr;
+  }
+  auto box = Umbox::Create(std::move(spec), ctx, error);
+  if (!box) return nullptr;
+  Umbox* ptr = box.get();
+  box->SetAlertSink([this, id](Alert alert) {
+    if (alert_sink_) alert_sink_(id, alert);
+  });
+  boxes_[id] = std::move(box);
+  ptr->Boot(std::move(on_ready));
+  return ptr;
+}
+
+bool UmboxHost::Stop(UmboxId id) {
+  auto it = boxes_.find(id);
+  if (it == boxes_.end()) return false;
+  it->second->Stop();
+  boxes_.erase(it);
+  origin_switch_.erase(id);
+  return true;
+}
+
+Umbox* UmboxHost::Find(UmboxId id) const {
+  const auto it = boxes_.find(id);
+  return it == boxes_.end() ? nullptr : it->second.get();
+}
+
+void UmboxHost::Receive(net::PacketPtr pkt, int port) {
+  (void)port;
+  auto decap = proto::Decapsulate(pkt->data());
+  if (!decap ||
+      decap->header.direction != proto::TunnelDirection::kToUmbox) {
+    return;  // hosts only speak tunnel traffic
+  }
+  ++stats_.tunneled_in;
+  const UmboxId vni = decap->header.vni;
+  const SwitchId origin = decap->header.origin_switch;
+  auto it = boxes_.find(vni);
+  if (it == boxes_.end()) {
+    ++stats_.no_such_umbox;
+    return;
+  }
+  origin_switch_[vni] = origin;
+  Umbox* box = it->second.get();
+  // (Re)bind the egress so verdict frames return through this host's
+  // tunnel toward the frame's origin switch.
+  box->SetEgress([this, vni](net::PacketPtr inner) {
+    const auto oit = origin_switch_.find(vni);
+    const SwitchId origin_sw =
+        oit == origin_switch_.end() ? 0 : oit->second;
+    ReturnFrame(vni, origin_sw, std::move(inner));
+  });
+  auto inner = net::MakePacket(std::move(decap->inner));
+  inner->created_at = pkt->created_at;
+  for (const auto& hop : pkt->trace()) inner->Trace(hop);
+  box->Process(std::move(inner));
+}
+
+void UmboxHost::ReturnFrame(UmboxId vni, SwitchId origin,
+                            net::PacketPtr inner) {
+  if (uplink_ == nullptr) return;
+  ++stats_.returned;
+  proto::TunnelHeader th;
+  th.vni = vni;
+  th.direction = proto::TunnelDirection::kFromUmbox;
+  th.origin_switch = origin;
+  Bytes outer =
+      proto::Encapsulate(net::MacAddress::FromId(0xee0000 + id_),
+                         net::MacAddress::Broadcast(), th, inner->data());
+  auto pkt = net::MakePacket(std::move(outer));
+  pkt->created_at = inner->created_at;
+  for (const auto& hop : inner->trace()) pkt->Trace(hop);
+  uplink_->Send(uplink_end_, std::move(pkt));
+}
+
+UmboxHost* Cluster::PickHost() const {
+  UmboxHost* best = nullptr;
+  for (UmboxHost* host : hosts_) {
+    if (host->load() >= host->capacity()) continue;
+    if (best == nullptr || host->load() < best->load()) best = host;
+  }
+  return best;
+}
+
+UmboxHost* Cluster::HostOf(UmboxId id) const {
+  for (UmboxHost* host : hosts_) {
+    if (host->Find(id) != nullptr) return host;
+  }
+  return nullptr;
+}
+
+Umbox* Cluster::Find(UmboxId id) const {
+  for (UmboxHost* host : hosts_) {
+    if (Umbox* box = host->Find(id)) return box;
+  }
+  return nullptr;
+}
+
+int Cluster::TotalLoad() const {
+  int total = 0;
+  for (const UmboxHost* host : hosts_) total += host->load();
+  return total;
+}
+
+int Cluster::TotalCapacity() const {
+  int total = 0;
+  for (const UmboxHost* host : hosts_) total += host->capacity();
+  return total;
+}
+
+}  // namespace iotsec::dataplane

@@ -1,0 +1,96 @@
+// The on-premise µmbox cluster (or upgraded IoT router).
+//
+// An UmboxHost is a server at the end of a tunnel from the edge switches:
+// it decapsulates diverted traffic, dispatches it to the right µmbox by
+// VNI, and returns the surviving frames wrapped in a kFromUmbox tunnel
+// toward the originating switch. A Cluster is a pool of hosts with
+// capacity-based placement.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "dataplane/umbox.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "proto/tunnel.h"
+
+namespace iotsec::dataplane {
+
+class UmboxHost final : public net::PacketSink {
+ public:
+  UmboxHost(ServerId id, sim::Simulator& simulator, int capacity = 32)
+      : id_(id), sim_(simulator), capacity_(capacity) {}
+
+  [[nodiscard]] ServerId id() const { return id_; }
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int load() const { return static_cast<int>(boxes_.size()); }
+
+  /// Connects the host's NIC toward the switch fabric.
+  void ConnectUplink(net::Link* link, int my_end);
+
+  /// Places a µmbox on this host and boots it. Returns the instance, or
+  /// nullptr if at capacity / bad config.
+  Umbox* Launch(UmboxSpec spec, const ElementContext& ctx, std::string* error,
+                std::function<void()> on_ready = nullptr);
+
+  /// Stops and removes a µmbox.
+  bool Stop(UmboxId id);
+
+  [[nodiscard]] Umbox* Find(UmboxId id) const;
+
+  /// Alerts from any hosted µmbox fan into this sink (set by the
+  /// controller), tagged with the µmbox id.
+  using AlertSink = std::function<void(UmboxId, const Alert&)>;
+  void SetAlertSink(AlertSink sink) { alert_sink_ = std::move(sink); }
+
+  // net::PacketSink — tunneled traffic from the switches.
+  void Receive(net::PacketPtr pkt, int port) override;
+
+  struct Stats {
+    std::uint64_t tunneled_in = 0;
+    std::uint64_t returned = 0;
+    std::uint64_t no_such_umbox = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void ReturnFrame(UmboxId vni, SwitchId origin, net::PacketPtr inner);
+
+  ServerId id_;
+  sim::Simulator& sim_;
+  int capacity_;
+  net::Link* uplink_ = nullptr;
+  int uplink_end_ = 0;
+  std::map<UmboxId, std::unique_ptr<Umbox>> boxes_;
+  /// Remembers which switch each µmbox's traffic came from so verdict
+  /// frames return to the right edge.
+  std::map<UmboxId, SwitchId> origin_switch_;
+  AlertSink alert_sink_;
+  Stats stats_;
+};
+
+/// Pool of hosts with least-loaded placement.
+class Cluster {
+ public:
+  void AddHost(UmboxHost* host) { hosts_.push_back(host); }
+
+  /// Least-loaded host with spare capacity; nullptr when full.
+  [[nodiscard]] UmboxHost* PickHost() const;
+
+  [[nodiscard]] UmboxHost* HostOf(UmboxId id) const;
+  [[nodiscard]] Umbox* Find(UmboxId id) const;
+  [[nodiscard]] const std::vector<UmboxHost*>& hosts() const {
+    return hosts_;
+  }
+
+  [[nodiscard]] int TotalLoad() const;
+  [[nodiscard]] int TotalCapacity() const;
+
+ private:
+  std::vector<UmboxHost*> hosts_;
+};
+
+}  // namespace iotsec::dataplane

@@ -1,0 +1,34 @@
+#include "dataplane/elements.h"
+
+namespace iotsec::dataplane {
+
+std::unique_ptr<Element> CreateElement(const std::string& type,
+                                       const std::string& name,
+                                       std::string* error) {
+  if (type == "Counter") return std::make_unique<Counter>(name, type);
+  if (type == "Tee") return std::make_unique<Tee>(name, type);
+  if (type == "Discard") return std::make_unique<Discard>(name, type);
+  if (type == "Logger") return std::make_unique<Logger>(name, type);
+  if (type == "RateLimiter") return std::make_unique<RateLimiter>(name, type);
+  if (type == "IpFilter") return std::make_unique<IpFilter>(name, type);
+  if (type == "StatefulFirewall") {
+    return std::make_unique<StatefulFirewall>(name, type);
+  }
+  if (type == "SignatureMatcher") {
+    return std::make_unique<SignatureMatcher>(name, type);
+  }
+  if (type == "DnsGuard") return std::make_unique<DnsGuard>(name, type);
+  if (type == "PasswordProxy") {
+    return std::make_unique<PasswordProxy>(name, type);
+  }
+  if (type == "ContextGate") return std::make_unique<ContextGate>(name, type);
+  if (type == "Delay") return std::make_unique<Delay>(name, type);
+  if (type == "AuthGuard") return std::make_unique<AuthGuard>(name, type);
+  if (type == "AnomalyDetector") {
+    return std::make_unique<AnomalyDetector>(name, type);
+  }
+  if (error) *error = "unknown element type: " + type;
+  return nullptr;
+}
+
+}  // namespace iotsec::dataplane

@@ -1,0 +1,199 @@
+#include "dataplane/graph.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace iotsec::dataplane {
+namespace {
+
+struct ChainHop {
+  int in_port = 0;
+  std::string name;
+  int out_port = 0;
+};
+
+/// Parses one hop of a wiring chain: "[2] name [1]" (both ports optional).
+bool ParseHop(std::string_view text, ChainHop& hop, std::string* error) {
+  auto s = Trim(text);
+  if (!s.empty() && s.front() == '[') {
+    const auto close = s.find(']');
+    if (close == std::string_view::npos) {
+      if (error) *error = "unterminated [port]";
+      return false;
+    }
+    std::uint64_t p = 0;
+    if (!ParseUint(Trim(s.substr(1, close - 1)), p)) {
+      if (error) *error = "bad input port";
+      return false;
+    }
+    hop.in_port = static_cast<int>(p);
+    s = Trim(s.substr(close + 1));
+  }
+  if (!s.empty() && s.back() == ']') {
+    const auto open = s.rfind('[');
+    if (open == std::string_view::npos) {
+      if (error) *error = "unterminated [port]";
+      return false;
+    }
+    std::uint64_t p = 0;
+    if (!ParseUint(Trim(s.substr(open + 1, s.size() - open - 2)), p)) {
+      if (error) *error = "bad output port";
+      return false;
+    }
+    hop.out_port = static_cast<int>(p);
+    s = Trim(s.substr(0, open));
+  }
+  if (s.empty()) {
+    if (error) *error = "missing element name in chain";
+    return false;
+  }
+  hop.name = std::string(s);
+  return true;
+}
+
+std::vector<std::string> SplitArrowChain(std::string_view line) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const auto arrow = line.find("->", start);
+    if (arrow == std::string_view::npos) {
+      parts.emplace_back(line.substr(start));
+      break;
+    }
+    parts.emplace_back(line.substr(start, arrow - start));
+    start = arrow + 2;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::unique_ptr<MboxGraph> MboxGraph::Build(std::string_view config_text,
+                                            const ElementContext& ctx,
+                                            std::string* error) {
+  auto fail = [&](std::string why, int line_no) -> std::unique_ptr<MboxGraph> {
+    if (error) {
+      *error = "line " + std::to_string(line_no) + ": " + std::move(why);
+    }
+    return nullptr;
+  };
+
+  std::unique_ptr<MboxGraph> graph(new MboxGraph());
+  graph->config_text_ = std::string(config_text);
+  std::map<std::string, Element*> by_name;
+  std::string entry_name;
+
+  int line_no = 0;
+  for (const auto& raw_line : Split(config_text, '\n')) {
+    ++line_no;
+    auto line = Trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (StartsWith(line, "entry ")) {
+      entry_name = std::string(Trim(line.substr(6)));
+      continue;
+    }
+
+    const auto decl = line.find("::");
+    const auto first_arrow = line.find("->");
+    if (decl != std::string_view::npos &&
+        (first_arrow == std::string_view::npos || decl < first_arrow)) {
+      // Declaration: name :: Type(args)
+      const std::string name(Trim(line.substr(0, decl)));
+      auto rhs = Trim(line.substr(decl + 2));
+      std::string type;
+      ConfigMap config;
+      const auto open = rhs.find('(');
+      if (open == std::string_view::npos) {
+        type = std::string(rhs);
+      } else {
+        const auto close = rhs.rfind(')');
+        if (close == std::string_view::npos || close < open) {
+          return fail("unbalanced parentheses", line_no);
+        }
+        type = std::string(Trim(rhs.substr(0, open)));
+        std::string cfg_err;
+        auto parsed =
+            ParseConfigArgs(rhs.substr(open + 1, close - open - 1), &cfg_err);
+        if (!parsed) return fail(cfg_err, line_no);
+        config = std::move(*parsed);
+      }
+      if (name.empty() || type.empty()) {
+        return fail("declaration needs 'name :: Type'", line_no);
+      }
+      if (by_name.count(name)) {
+        return fail("duplicate element name: " + name, line_no);
+      }
+      std::string create_err;
+      auto element = CreateElement(type, name, &create_err);
+      if (!element) return fail(create_err, line_no);
+      element->SetContext(ctx);
+      std::string cfg_err;
+      if (!element->Configure(config, &cfg_err)) return fail(cfg_err, line_no);
+      by_name[name] = element.get();
+      graph->elements_.push_back(std::move(element));
+      continue;
+    }
+
+    if (line.find("->") != std::string_view::npos) {
+      // Wiring chain.
+      const auto parts = SplitArrowChain(line);
+      std::vector<ChainHop> hops;
+      for (const auto& part : parts) {
+        ChainHop hop;
+        std::string hop_err;
+        if (!ParseHop(part, hop, &hop_err)) return fail(hop_err, line_no);
+        if (!by_name.count(hop.name)) {
+          return fail("undeclared element: " + hop.name, line_no);
+        }
+        hops.push_back(std::move(hop));
+      }
+      for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+        by_name[hops[i].name]->ConnectOutput(hops[i].out_port,
+                                             by_name[hops[i + 1].name],
+                                             hops[i + 1].in_port);
+      }
+      continue;
+    }
+
+    return fail("unrecognized statement: " + std::string(line), line_no);
+  }
+
+  if (graph->elements_.empty()) {
+    if (error) *error = "graph has no elements";
+    return nullptr;
+  }
+  if (entry_name.empty()) {
+    graph->entry_ = graph->elements_.front().get();
+  } else {
+    const auto it = by_name.find(entry_name);
+    if (it == by_name.end()) {
+      if (error) *error = "entry element not declared: " + entry_name;
+      return nullptr;
+    }
+    graph->entry_ = it->second;
+  }
+  return graph;
+}
+
+void MboxGraph::Inject(net::PacketPtr pkt) {
+  entry_->Accept(std::move(pkt), 0);
+}
+
+void MboxGraph::SetEgress(std::function<void(net::PacketPtr)> egress) {
+  for (const auto& e : elements_) e->SetEgress(egress);
+}
+
+void MboxGraph::SetAlertSink(std::function<void(Alert)> sink) {
+  for (const auto& e : elements_) e->SetAlertSink(sink);
+}
+
+Element* MboxGraph::Find(const std::string& name) const {
+  for (const auto& e : elements_) {
+    if (e->name() == name) return e.get();
+  }
+  return nullptr;
+}
+
+}  // namespace iotsec::dataplane

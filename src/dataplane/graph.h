@@ -1,0 +1,58 @@
+// µmbox element graphs and the Click-lite config language.
+//
+// Grammar (one statement per line, '#' comments):
+//
+//   name :: Type(key=value, key2="quoted, value")   element declaration
+//   a -> b -> c                                      wiring chain
+//   a [1] -> b                                       from a's output port 1
+//   a -> [2] b                                       into b's input port 2
+//   entry a                                          packet injection point
+//                                                    (default: first element)
+//
+// Packets leaving any unconnected output port exit the graph through the
+// egress callback; a port wired to a Discard drops instead.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataplane/element.h"
+
+namespace iotsec::dataplane {
+
+class MboxGraph {
+ public:
+  /// Parses and builds a graph. Returns nullptr with *error on failure
+  /// (unknown element type, bad config, bad wiring, no elements).
+  static std::unique_ptr<MboxGraph> Build(std::string_view config_text,
+                                          const ElementContext& ctx,
+                                          std::string* error);
+
+  /// Injects a packet into the entry element.
+  void Inject(net::PacketPtr pkt);
+
+  /// Packets exiting the graph land here.
+  void SetEgress(std::function<void(net::PacketPtr)> egress);
+  /// Alerts raised by any element land here.
+  void SetAlertSink(std::function<void(Alert)> sink);
+
+  [[nodiscard]] Element* Find(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& elements()
+      const {
+    return elements_;
+  }
+  [[nodiscard]] const std::string& config_text() const {
+    return config_text_;
+  }
+
+ private:
+  MboxGraph() = default;
+
+  std::vector<std::unique_ptr<Element>> elements_;
+  Element* entry_ = nullptr;
+  std::string config_text_;
+};
+
+}  // namespace iotsec::dataplane

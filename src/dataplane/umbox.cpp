@@ -1,0 +1,117 @@
+#include "dataplane/umbox.h"
+
+namespace iotsec::dataplane {
+
+std::string_view BootModelName(BootModel m) {
+  switch (m) {
+    case BootModel::kProcess: return "process";
+    case BootModel::kMicroVm: return "micro_vm";
+    case BootModel::kContainer: return "container";
+    case BootModel::kFullVm: return "full_vm";
+  }
+  return "unknown";
+}
+
+SimDuration BootLatency(BootModel m) {
+  switch (m) {
+    case BootModel::kProcess: return 2 * kMillisecond;
+    case BootModel::kMicroVm: return 30 * kMillisecond;
+    case BootModel::kContainer: return 400 * kMillisecond;
+    case BootModel::kFullVm: return 12 * kSecond;
+  }
+  return kSecond;
+}
+
+std::unique_ptr<Umbox> Umbox::Create(UmboxSpec spec, const ElementContext& ctx,
+                                     std::string* error) {
+  auto graph = MboxGraph::Build(spec.config_text, ctx, error);
+  if (!graph) return nullptr;
+  std::unique_ptr<Umbox> box(new Umbox(std::move(spec), ctx));
+  box->graph_ = std::move(graph);
+  return box;
+}
+
+void Umbox::Boot(std::function<void()> on_ready) {
+  state_ = UmboxState::kBooting;
+  stats_.last_boot_started = ctx_.sim != nullptr ? ctx_.sim->Now() : 0;
+  auto become_ready = [this, on_ready = std::move(on_ready)] {
+    if (state_ != UmboxState::kBooting) return;  // stopped meanwhile
+    state_ = UmboxState::kRunning;
+    stats_.last_ready = ctx_.sim != nullptr ? ctx_.sim->Now() : 0;
+    DrainBootQueue();
+    if (on_ready) on_ready();
+  };
+  if (ctx_.sim != nullptr) {
+    ctx_.sim->After(BootLatency(spec_.boot), std::move(become_ready));
+  } else {
+    become_ready();
+  }
+}
+
+void Umbox::Process(net::PacketPtr pkt) {
+  switch (state_) {
+    case UmboxState::kRunning:
+      ++stats_.processed;
+      pkt->Trace("umbox:" + std::to_string(spec_.id));
+      graph_->Inject(std::move(pkt));
+      return;
+    case UmboxState::kBooting:
+    case UmboxState::kConfigured:
+      if (spec_.queue_while_booting &&
+          boot_queue_.size() < spec_.boot_queue_limit) {
+        ++stats_.queued_during_boot;
+        boot_queue_.push_back(std::move(pkt));
+      } else {
+        ++stats_.dropped_during_boot;
+      }
+      return;
+    case UmboxState::kStopped:
+      return;  // silently dropped; the orchestrator already repointed flows
+  }
+}
+
+void Umbox::DrainBootQueue() {
+  while (!boot_queue_.empty() && state_ == UmboxState::kRunning) {
+    auto pkt = std::move(boot_queue_.front());
+    boot_queue_.pop_front();
+    ++stats_.processed;
+    pkt->Trace("umbox:" + std::to_string(spec_.id));
+    graph_->Inject(std::move(pkt));
+  }
+}
+
+bool Umbox::Reconfigure(const std::string& new_config, std::string* error) {
+  auto new_graph = MboxGraph::Build(new_config, ctx_, error);
+  if (!new_graph) return false;
+  new_graph->SetEgress(egress_);
+  new_graph->SetAlertSink(alert_sink_);
+  graph_ = std::move(new_graph);
+  spec_.config_text = new_config;
+  ++stats_.reconfigs;
+  return true;
+}
+
+bool Umbox::Restart(const std::string& new_config, std::string* error,
+                    std::function<void()> on_ready) {
+  auto new_graph = MboxGraph::Build(new_config, ctx_, error);
+  if (!new_graph) return false;
+  new_graph->SetEgress(egress_);
+  new_graph->SetAlertSink(alert_sink_);
+  graph_ = std::move(new_graph);
+  spec_.config_text = new_config;
+  ++stats_.restarts;
+  Boot(std::move(on_ready));
+  return true;
+}
+
+void Umbox::SetEgress(std::function<void(net::PacketPtr)> egress) {
+  egress_ = std::move(egress);
+  graph_->SetEgress(egress_);
+}
+
+void Umbox::SetAlertSink(std::function<void(Alert)> sink) {
+  alert_sink_ = std::move(sink);
+  graph_->SetAlertSink(alert_sink_);
+}
+
+}  // namespace iotsec::dataplane

@@ -1,0 +1,66 @@
+// IoT hub (SmartThings-style).
+//
+// §2.2 notes IoTSec must support several management models: directly
+// connected devices, hub-mediated fleets, and smartphone control. The hub
+// is the interesting one for security: it holds the credentials of every
+// member device and relays commands to them — so a compromised hub is a
+// skeleton key for the whole home, and the hub's own µmbox posture
+// becomes the chokepoint that matters.
+//
+// Protocol: a command with tag kArgKey == "target" naming a member is
+// relayed; the hub authenticates the caller against its own credential,
+// then re-issues the inner command to the member with the *member's*
+// credential. Responses are relayed back.
+#pragma once
+
+#include <map>
+
+#include "devices/device.h"
+
+namespace iotsec::devices {
+
+class Hub final : public Device {
+ public:
+  Hub(DeviceSpec spec, sim::Simulator& simulator, env::Environment* env);
+
+  void Start() override;
+
+  /// Enrolls a member: the hub learns its address and credential (the
+  /// pairing step real hubs do once).
+  void Enroll(const Device& member);
+
+  [[nodiscard]] std::size_t MemberCount() const { return members_.size(); }
+
+  struct RelayStats {
+    std::uint64_t relayed = 0;
+    std::uint64_t denied = 0;
+    std::uint64_t unknown_target = 0;
+  };
+  [[nodiscard]] const RelayStats& relay_stats() const { return relay_stats_; }
+
+ protected:
+  void HandleIotCtl(const proto::ParsedFrame& frame,
+                    const proto::IotCtlMessage& msg) override;
+  std::string Execute(const proto::IotCtlMessage& msg) override;
+
+ private:
+  struct Member {
+    net::Ipv4Address ip;
+    net::MacAddress mac;
+    std::string credential;
+  };
+
+  struct PendingRelay {
+    net::Ipv4Address requester_ip;
+    net::MacAddress requester_mac;
+    std::uint16_t requester_port = 0;
+    std::uint16_t requester_seq = 0;
+  };
+
+  std::map<std::string, Member> members_;  // by device name
+  std::map<std::uint16_t, PendingRelay> pending_;  // by relayed seq
+  std::uint16_t next_relay_seq_ = 20000;
+  RelayStats relay_stats_;
+};
+
+}  // namespace iotsec::devices

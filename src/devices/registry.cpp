@@ -1,0 +1,63 @@
+#include "devices/registry.h"
+
+namespace iotsec::devices {
+
+Device* DeviceRegistry::Add(std::unique_ptr<Device> device) {
+  Device* ptr = device.get();
+  devices_.push_back(std::move(device));
+  by_id_[ptr->id()] = ptr;
+  by_ip_[ptr->spec().ip] = ptr;
+  return ptr;
+}
+
+Device* DeviceRegistry::ById(DeviceId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+Device* DeviceRegistry::ByIp(net::Ipv4Address ip) const {
+  const auto it = by_ip_.find(ip);
+  return it == by_ip_.end() ? nullptr : it->second;
+}
+
+Device* DeviceRegistry::ByName(const std::string& name) const {
+  for (const auto& d : devices_) {
+    if (d->spec().name == name) return d.get();
+  }
+  return nullptr;
+}
+
+std::vector<Device*> DeviceRegistry::All() const {
+  std::vector<Device*> out;
+  out.reserve(devices_.size());
+  for (const auto& d : devices_) out.push_back(d.get());
+  return out;
+}
+
+std::vector<Device*> DeviceRegistry::ByClass(DeviceClass cls) const {
+  std::vector<Device*> out;
+  for (const auto& d : devices_) {
+    if (d->spec().cls == cls) out.push_back(d.get());
+  }
+  return out;
+}
+
+std::vector<Device*> DeviceRegistry::BySku(const std::string& sku) const {
+  std::vector<Device*> out;
+  for (const auto& d : devices_) {
+    if (d->spec().sku == sku) out.push_back(d.get());
+  }
+  return out;
+}
+
+std::map<std::string, std::size_t> DeviceRegistry::SkuCensus() const {
+  std::map<std::string, std::size_t> census;
+  for (const auto& d : devices_) ++census[d->spec().sku];
+  return census;
+}
+
+void DeviceRegistry::StartAll() {
+  for (const auto& d : devices_) d->Start();
+}
+
+}  // namespace iotsec::devices

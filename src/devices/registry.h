@@ -1,0 +1,42 @@
+// Device registry: owns every device in a deployment and provides the
+// lookups (by id, IP, SKU, class) that the controller, the census scanner
+// and the crowd repository need.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "devices/device.h"
+
+namespace iotsec::devices {
+
+class DeviceRegistry {
+ public:
+  /// Takes ownership; returns a stable non-owning pointer.
+  Device* Add(std::unique_ptr<Device> device);
+
+  [[nodiscard]] Device* ById(DeviceId id) const;
+  [[nodiscard]] Device* ByIp(net::Ipv4Address ip) const;
+  [[nodiscard]] Device* ByName(const std::string& name) const;
+
+  [[nodiscard]] std::vector<Device*> All() const;
+  [[nodiscard]] std::vector<Device*> ByClass(DeviceClass cls) const;
+  [[nodiscard]] std::vector<Device*> BySku(const std::string& sku) const;
+
+  [[nodiscard]] std::size_t Count() const { return devices_.size(); }
+
+  /// (sku -> device count), the granularity the crowd repository shares at.
+  [[nodiscard]] std::map<std::string, std::size_t> SkuCensus() const;
+
+  /// Calls Start() on every device (simulation boot).
+  void StartAll();
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::map<DeviceId, Device*> by_id_;
+  std::map<net::Ipv4Address, Device*> by_ip_;
+};
+
+}  // namespace iotsec::devices

@@ -1,0 +1,70 @@
+#include "env/dynamics.h"
+
+#include <algorithm>
+
+namespace iotsec::env {
+
+void ExponentialDecay::Step(Environment& env, double dt) {
+  const double value = env.Value(var_);
+  const double alpha = std::min(1.0, rate_ * dt);
+  env.SetValue(var_, value + (ambient_ - value) * alpha);
+}
+
+void ThresholdInfluence::Step(Environment& env, double dt) {
+  if (env.Level(source_) < min_level_) return;
+  env.AddValue(target_, rate_ * dt);
+}
+
+void GatedDecay::Step(Environment& env, double dt) {
+  if (env.Level(gate_) < min_level_) return;
+  const double value = env.Value(target_);
+  const double alpha = std::min(1.0, rate_ * dt);
+  env.SetValue(target_, value + (outside_ - value) * alpha);
+}
+
+void HysteresisTrigger::Step(Environment& env, double dt) {
+  (void)dt;
+  const double source = env.Value(source_);
+  const bool active = env.GetBool(target_);
+  if (!active && source >= high_) {
+    env.SetBool(target_, true);
+  } else if (active && source <= low_) {
+    env.SetBool(target_, false);
+  }
+}
+
+std::unique_ptr<Environment> MakeSmartHomeEnvironment() {
+  auto env = std::make_unique<Environment>();
+  env->Define(VarDef::Continuous("temperature", 21.0, {10.0, 28.0, 45.0},
+                                 {"cold", "normal", "high", "extreme"}));
+  env->Define(VarDef::Boolean("smoke"));
+  env->Define(VarDef::Continuous("illuminance", 50.0, {120.0},
+                                 {"dark", "bright"}));
+  env->Define(VarDef::Boolean("occupancy"));
+  env->Define(VarDef::Boolean("window_open"));
+  env->Define(VarDef::Boolean("oven_power"));
+  env->Define(VarDef::Boolean("hvac_on"));
+  env->Define(VarDef::Boolean("bulb_on"));
+
+  // A powered oven heats the room hard; sustained heat produces smoke.
+  env->AddDynamics(std::make_unique<ThresholdInfluence>(
+      "oven_power", 1, "temperature", /*rate=*/1.5));
+  env->AddDynamics(std::make_unique<HysteresisTrigger>(
+      "temperature", /*high=*/60.0, /*low=*/40.0, "smoke"));
+  // HVAC cools toward a setpoint-ish rate; an open window vents to 12C
+  // outside air quickly.
+  env->AddDynamics(std::make_unique<ThresholdInfluence>(
+      "hvac_on", 1, "temperature", /*rate=*/-0.4));
+  env->AddDynamics(std::make_unique<GatedDecay>(
+      "window_open", 1, "temperature", /*outside=*/12.0, /*rate=*/0.05));
+  // Bulb drives illuminance; both temperature and illuminance relax.
+  env->AddDynamics(std::make_unique<ThresholdInfluence>(
+      "bulb_on", 1, "illuminance", /*rate=*/200.0));
+  env->AddDynamics(std::make_unique<ExponentialDecay>(
+      "illuminance", /*ambient=*/50.0, /*rate=*/0.5));
+  env->AddDynamics(std::make_unique<ExponentialDecay>(
+      "temperature", /*ambient=*/21.0, /*rate=*/0.01));
+  return env;
+}
+
+}  // namespace iotsec::env

@@ -1,0 +1,129 @@
+// Built-in physical dynamics processes.
+//
+// Four primitives compose every scenario in the examples and benches:
+//   ExponentialDecay    value relaxes toward an ambient level
+//   ThresholdInfluence  while a source is at/above a level, a target drifts
+//                       at a fixed rate (oven heats the room, bulb raises
+//                       illuminance, HVAC cools)
+//   GatedDecay          while a gate is open, a target relaxes fast toward
+//                       an outside level (open window cools the room)
+//   HysteresisTrigger   a boolean latches on when a source crosses a high
+//                       threshold and releases below a low one (smoke from
+//                       sustained heat)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "env/environment.h"
+
+namespace iotsec::env {
+
+class ExponentialDecay final : public Dynamics {
+ public:
+  ExponentialDecay(std::string var, double ambient, double rate_per_second)
+      : var_(std::move(var)), ambient_(ambient), rate_(rate_per_second) {}
+
+  [[nodiscard]] std::string Name() const override {
+    return "decay(" + var_ + ")";
+  }
+  void Step(Environment& env, double dt) override;
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> CausalEdges()
+      const override {
+    return {};  // relaxation toward ambient is not a cross-variable edge
+  }
+
+ private:
+  std::string var_;
+  double ambient_;
+  double rate_;
+};
+
+class ThresholdInfluence final : public Dynamics {
+ public:
+  ThresholdInfluence(std::string source, int min_level, std::string target,
+                     double rate_per_second)
+      : source_(std::move(source)),
+        min_level_(min_level),
+        target_(std::move(target)),
+        rate_(rate_per_second) {}
+
+  [[nodiscard]] std::string Name() const override {
+    return "influence(" + source_ + "->" + target_ + ")";
+  }
+  void Step(Environment& env, double dt) override;
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> CausalEdges()
+      const override {
+    return {{source_, target_}};
+  }
+
+ private:
+  std::string source_;
+  int min_level_;
+  std::string target_;
+  double rate_;
+};
+
+class GatedDecay final : public Dynamics {
+ public:
+  GatedDecay(std::string gate, int min_level, std::string target,
+             double outside, double rate_per_second)
+      : gate_(std::move(gate)),
+        min_level_(min_level),
+        target_(std::move(target)),
+        outside_(outside),
+        rate_(rate_per_second) {}
+
+  [[nodiscard]] std::string Name() const override {
+    return "gated_decay(" + gate_ + "->" + target_ + ")";
+  }
+  void Step(Environment& env, double dt) override;
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> CausalEdges()
+      const override {
+    return {{gate_, target_}};
+  }
+
+ private:
+  std::string gate_;
+  int min_level_;
+  std::string target_;
+  double outside_;
+  double rate_;
+};
+
+class HysteresisTrigger final : public Dynamics {
+ public:
+  HysteresisTrigger(std::string source, double high, double low,
+                    std::string target)
+      : source_(std::move(source)),
+        high_(high),
+        low_(low),
+        target_(std::move(target)) {}
+
+  [[nodiscard]] std::string Name() const override {
+    return "trigger(" + source_ + "->" + target_ + ")";
+  }
+  void Step(Environment& env, double dt) override;
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> CausalEdges()
+      const override {
+    return {{source_, target_}};
+  }
+
+ private:
+  std::string source_;
+  double high_;
+  double low_;
+  std::string target_;
+};
+
+/// Builds the canonical smart-home environment used by the examples,
+/// integration tests and benches:
+///   variables: temperature, smoke, illuminance, occupancy, window_open,
+///              oven_power, hvac_on, bulb_on
+///   dynamics:  oven_power -> temperature (heat), hvac_on -> temperature
+///              (cool), window_open -> temperature (outside air),
+///              temperature -> smoke (hysteresis at 60C), bulb_on ->
+///              illuminance, illuminance decay, temperature decay
+std::unique_ptr<Environment> MakeSmartHomeEnvironment();
+
+}  // namespace iotsec::env

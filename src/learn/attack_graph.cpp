@@ -1,0 +1,191 @@
+#include "learn/attack_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace iotsec::learn {
+
+std::string AttackPlan::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i) out += " -> ";
+    out += steps[i]->name;
+  }
+  return out;
+}
+
+std::set<std::string> AttackGraph::ReachableFacts() const {
+  std::set<std::string> known = initial_facts_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& exploit : exploits_) {
+      const bool ready = std::all_of(
+          exploit.preconditions.begin(), exploit.preconditions.end(),
+          [&](const std::string& p) { return known.count(p) > 0; });
+      if (!ready) continue;
+      for (const auto& post : exploit.postconditions) {
+        if (known.insert(post).second) changed = true;
+      }
+    }
+  }
+  return known;
+}
+
+bool AttackGraph::CanReach(const std::string& goal) const {
+  return ReachableFacts().count(goal) > 0;
+}
+
+std::optional<AttackPlan> AttackGraph::FindPlan(
+    const std::string& goal) const {
+  // Forward chaining, recording which exploit first produced each fact
+  // and the order exploits first fired.
+  std::set<std::string> known = initial_facts_;
+  std::map<std::string, std::size_t> producer;  // fact -> exploit index
+  std::vector<std::size_t> fire_order;
+  std::vector<bool> fired(exploits_.size(), false);
+
+  bool changed = true;
+  while (changed && !known.count(goal)) {
+    changed = false;
+    for (std::size_t i = 0; i < exploits_.size(); ++i) {
+      if (fired[i]) continue;
+      const auto& exploit = exploits_[i];
+      const bool ready = std::all_of(
+          exploit.preconditions.begin(), exploit.preconditions.end(),
+          [&](const std::string& p) { return known.count(p) > 0; });
+      if (!ready) continue;
+      fired[i] = true;
+      fire_order.push_back(i);
+      changed = true;
+      for (const auto& post : exploit.postconditions) {
+        if (known.insert(post).second) {
+          producer[post] = i;
+        }
+      }
+    }
+  }
+  if (!known.count(goal)) return std::nullopt;
+
+  // Backchain: collect the exploits needed for the goal transitively.
+  std::set<std::size_t> needed;
+  std::deque<std::string> queue{goal};
+  std::set<std::string> visited;
+  while (!queue.empty()) {
+    const std::string fact = queue.front();
+    queue.pop_front();
+    if (!visited.insert(fact).second) continue;
+    if (initial_facts_.count(fact)) continue;
+    const auto it = producer.find(fact);
+    if (it == producer.end()) continue;  // fact was initial
+    needed.insert(it->second);
+    for (const auto& pre : exploits_[it->second].preconditions) {
+      queue.push_back(pre);
+    }
+  }
+
+  AttackPlan plan;
+  for (std::size_t idx : fire_order) {
+    if (needed.count(idx)) plan.steps.push_back(&exploits_[idx]);
+  }
+  return plan;
+}
+
+AttackGraph BuildAttackGraph(
+    const devices::DeviceRegistry& registry,
+    const std::set<CouplingEdge>& couplings,
+    const std::vector<std::pair<std::string, std::string>>&
+        automation_edges) {
+  using devices::Vulnerability;
+  AttackGraph graph;
+  graph.AddFact("net_access");
+
+  auto ctrl = [](const std::string& name) { return "ctrl:dev:" + name; };
+  auto influence_dev = [](const std::string& name) {
+    return "influence:dev:" + name;
+  };
+
+  for (const devices::Device* device : registry.All()) {
+    const auto& spec = device->spec();
+    const std::string& name = spec.name;
+
+    if (device->Has(Vulnerability::kDefaultPassword)) {
+      graph.AddExploit({"guess default credential on " + name,
+                        {"net_access"},
+                        {ctrl(name)},
+                        spec.id});
+    }
+    if (device->Has(Vulnerability::kExposedAccess)) {
+      graph.AddExploit({"use exposed management on " + name,
+                        {"net_access"},
+                        {ctrl(name), "data:dev:" + name},
+                        spec.id});
+    }
+    if (device->Has(Vulnerability::kNoCredentials)) {
+      graph.AddExploit({"send unauthenticated commands to " + name,
+                        {"net_access"},
+                        {ctrl(name)},
+                        spec.id});
+    }
+    if (device->Has(Vulnerability::kBackdoor)) {
+      graph.AddExploit({"use backdoor channel on " + name,
+                        {"net_access"},
+                        {ctrl(name)},
+                        spec.id});
+    }
+    if (device->Has(Vulnerability::kUnprotectedKeys)) {
+      graph.AddExploit({"extract firmware keys from " + name,
+                        {"net_access"},
+                        {"keys:dev:" + name},
+                        spec.id});
+      graph.AddExploit({"impersonate " + name + " with stolen keys",
+                        {"keys:dev:" + name},
+                        {ctrl(name)},
+                        spec.id});
+    }
+    if (device->Has(Vulnerability::kOpenDnsResolver)) {
+      graph.AddExploit({"reflect DDoS through open resolver on " + name,
+                        {"net_access"},
+                        {"ddos_launchpad"},
+                        spec.id});
+    }
+
+    // Controlling a device trivially influences its observable state.
+    graph.AddExploit({"drive state of " + name,
+                      {ctrl(name)},
+                      {influence_dev(name)},
+                      spec.id});
+
+    // A controllable window/lock is a physical breach.
+    if (spec.cls == devices::DeviceClass::kWindowActuator ||
+        spec.cls == devices::DeviceClass::kSmartLock) {
+      graph.AddExploit({"physical entry via " + name,
+                        {ctrl(name)},
+                        {"physical_entry"},
+                        spec.id});
+    }
+  }
+
+  // Physical coupling edges: controlling the actor influences the
+  // coupled observable (environment variable or sensor device).
+  for (const auto& [actor, observed] : couplings) {
+    graph.AddExploit({"propagate " + actor + " -> " + observed,
+                      {ctrl(actor)},
+                      {"influence:" + observed},
+                      kInvalidDevice});
+  }
+
+  // Automation (IFTTT) edges: influencing the trigger source lets the
+  // attacker drive the recipe's action on the target device. This is an
+  // over-approximation (the recipe fires one specific command), which is
+  // the right polarity for attack surface analysis.
+  for (const auto& [source, target] : automation_edges) {
+    graph.AddExploit({"abuse automation " + source + " => " + target,
+                      {influence_dev(source)},
+                      {ctrl(target)},
+                      kInvalidDevice});
+  }
+  return graph;
+}
+
+}  // namespace iotsec::learn

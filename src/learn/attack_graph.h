@@ -1,0 +1,74 @@
+// Attack-graph analysis (§4.2's multi-stage attack identification).
+//
+// Exploits are pre/post-condition rules over facts ("attacker has network
+// access", "attacker controls wemo-plug", "env:temperature=high",
+// "physical_entry"). Forward chaining computes everything reachable;
+// plan extraction backchains a minimal ordered exploit sequence to a goal
+// — e.g. the paper's §2.1 scenario: compromise the plug, heat the room,
+// the IFTTT rule opens the window, physical break-in.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "devices/registry.h"
+#include "env/environment.h"
+#include "learn/fuzzer.h"
+
+namespace iotsec::learn {
+
+struct Exploit {
+  std::string name;
+  std::vector<std::string> preconditions;   // all must hold
+  std::vector<std::string> postconditions;  // become true when fired
+  /// Device whose flaw this exploit abuses (kInvalidDevice for physical /
+  /// environmental steps).
+  DeviceId device = kInvalidDevice;
+};
+
+struct AttackPlan {
+  std::vector<const Exploit*> steps;  // in execution order
+  [[nodiscard]] std::string ToString() const;
+};
+
+class AttackGraph {
+ public:
+  void AddFact(std::string fact) { initial_facts_.insert(std::move(fact)); }
+  void AddExploit(Exploit exploit) {
+    exploits_.push_back(std::move(exploit));
+  }
+
+  [[nodiscard]] const std::vector<Exploit>& exploits() const {
+    return exploits_;
+  }
+
+  /// All facts reachable by forward chaining from the initial facts.
+  [[nodiscard]] std::set<std::string> ReachableFacts() const;
+
+  /// True if the goal is reachable at all.
+  [[nodiscard]] bool CanReach(const std::string& goal) const;
+
+  /// Minimal-step ordered plan to the goal (BFS over fact layers),
+  /// nullopt when unreachable.
+  [[nodiscard]] std::optional<AttackPlan> FindPlan(
+      const std::string& goal) const;
+
+ private:
+  std::set<std::string> initial_facts_;
+  std::vector<Exploit> exploits_;
+};
+
+/// Derives an attack graph from a deployment: one exploit per device
+/// vulnerability (Table 1 semantics), plus environment-propagation steps
+/// from the coupling edges (fuzzer-discovered or ground truth) and the
+/// IFTTT-style automation hazards.
+AttackGraph BuildAttackGraph(
+    const devices::DeviceRegistry& registry,
+    const std::set<CouplingEdge>& couplings,
+    const std::vector<std::pair<std::string, std::string>>&
+        automation_edges = {});
+
+}  // namespace iotsec::learn

@@ -1,0 +1,82 @@
+#include "learn/model_library.h"
+
+namespace iotsec::learn {
+
+ModelLibrary ModelLibrary::Builtin() {
+  using devices::DeviceClass;
+  using proto::IotCommand;
+  ModelLibrary lib;
+  lib.Add({DeviceClass::kCamera,
+           {IotCommand::kStream, IotCommand::kTurnOff, IotCommand::kStatus},
+           {},
+           {"occupancy"},
+           {"idle", "person_detected", "streaming"}});
+  lib.Add({DeviceClass::kSmartPlug,
+           {IotCommand::kTurnOn, IotCommand::kTurnOff, IotCommand::kStatus},
+           {"oven_power"},
+           {},
+           {"off", "on"}});
+  lib.Add({DeviceClass::kThermostat,
+           {IotCommand::kSet, IotCommand::kStatus},
+           {"hvac_on"},
+           {"temperature"},
+           {"idle", "cooling"}});
+  lib.Add({DeviceClass::kFireAlarm,
+           {IotCommand::kStatus, IotCommand::kTurnOff},
+           {},
+           {"smoke"},
+           {"ok", "alarm"}});
+  lib.Add({DeviceClass::kWindowActuator,
+           {IotCommand::kOpen, IotCommand::kClose, IotCommand::kStatus},
+           {"window_open"},
+           {},
+           {"closed", "open"}});
+  lib.Add({DeviceClass::kSmartLock,
+           {IotCommand::kLock, IotCommand::kUnlock, IotCommand::kStatus},
+           {},
+           {},
+           {"locked", "unlocked"}});
+  lib.Add({DeviceClass::kLightBulb,
+           {IotCommand::kTurnOn, IotCommand::kTurnOff, IotCommand::kStatus},
+           {"bulb_on"},
+           {},
+           {"off", "on"}});
+  lib.Add({DeviceClass::kLightSensor,
+           {IotCommand::kStatus},
+           {},
+           {"illuminance"},
+           {"dark", "bright"}});
+  lib.Add({DeviceClass::kSmartOven,
+           {IotCommand::kTurnOn, IotCommand::kTurnOff, IotCommand::kStatus},
+           {"oven_power"},
+           {},
+           {"off", "on"}});
+  lib.Add({DeviceClass::kTrafficLight,
+           {IotCommand::kSet, IotCommand::kStatus},
+           {},
+           {},
+           {"red", "yellow", "green"}});
+  lib.Add({DeviceClass::kSetTopBox,
+           {IotCommand::kStatus},
+           {},
+           {},
+           {"idle"}});
+  lib.Add({DeviceClass::kRefrigerator,
+           {IotCommand::kStatus},
+           {},
+           {},
+           {"cooling", "compromised"}});
+  lib.Add({DeviceClass::kMotionSensor,
+           {IotCommand::kStatus},
+           {},
+           {"occupancy"},
+           {"clear", "motion"}});
+  lib.Add({DeviceClass::kHandheldScanner,
+           {IotCommand::kStatus},
+           {},
+           {},
+           {"scanning_barcodes", "compromised"}});
+  return lib;
+}
+
+}  // namespace iotsec::learn

@@ -1,0 +1,53 @@
+// Abstract device-class models (§4.2).
+//
+// One model per device *class* (toaster, bulb, plug — not per SKU): the
+// command alphabet the class accepts, the environment variables it can
+// write (actuators) and read (sensors). The fuzzer uses the alphabet to
+// drive exploration; the attack-graph builder uses the read/write sets to
+// derive exploit post-conditions.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/device.h"
+#include "proto/iotctl.h"
+
+namespace iotsec::learn {
+
+struct AbstractDeviceModel {
+  devices::DeviceClass device_class = devices::DeviceClass::kCamera;
+  /// Commands the class accepts (the fuzzer's input alphabet).
+  std::vector<proto::IotCommand> commands;
+  /// Environment variables instances of this class may write.
+  std::vector<std::string> writes;
+  /// Environment variables instances of this class observe.
+  std::vector<std::string> reads;
+  /// FSM states the class can report.
+  std::vector<std::string> states;
+};
+
+class ModelLibrary {
+ public:
+  void Add(AbstractDeviceModel model) {
+    models_[model.device_class] = std::move(model);
+  }
+
+  [[nodiscard]] const AbstractDeviceModel* For(
+      devices::DeviceClass cls) const {
+    const auto it = models_.find(cls);
+    return it == models_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t Size() const { return models_.size(); }
+
+  /// The community-maintained library for every built-in device class.
+  static ModelLibrary Builtin();
+
+ private:
+  std::map<devices::DeviceClass, AbstractDeviceModel> models_;
+};
+
+}  // namespace iotsec::learn

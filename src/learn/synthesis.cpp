@@ -1,0 +1,178 @@
+#include "learn/synthesis.h"
+
+#include "common/strings.h"
+#include "core/postures.h"
+#include "policy/state_space.h"
+
+namespace iotsec::learn {
+namespace {
+
+using devices::Vulnerability;
+
+/// Whether the combined posture for this flaw actually *blocks* the entry
+/// exploit (vs merely alerting).
+bool MitigationBlocks(Vulnerability v) {
+  switch (v) {
+    case Vulnerability::kDefaultPassword:   // proxy rejects the default
+    case Vulnerability::kBackdoor:          // sid 1003 blocks
+    case Vulnerability::kUnprotectedKeys:   // sid 1005 blocks key bytes
+    case Vulnerability::kOpenDnsResolver:   // DnsGuard drops
+      return true;
+    case Vulnerability::kExposedAccess:
+    case Vulnerability::kNoCredentials:
+      // Blocked only by the hub-allowlist ACL, which needs a hub address.
+      return false;
+  }
+  return false;
+}
+
+/// One µmbox chain covering *all* of a device's flaws. Element order:
+/// DNS guard -> rate limit -> password proxy -> ACL/firewall -> signatures.
+policy::Posture CombinedMitigation(const devices::Device& device,
+                                   const net::Ipv4Prefix& lan,
+                                   bool* fully_blocking) {
+  const auto& spec = device.spec();
+  const auto& vulns = spec.vulns;
+  std::string config;
+  std::vector<std::string> chain;
+  std::vector<std::string> profile_parts;
+  *fully_blocking = true;
+
+  if (vulns.count(Vulnerability::kOpenDnsResolver)) {
+    // Nothing legitimately uses an IoT device as a resolver: close the
+    // service to everyone except (at most) the hub. `expected_clients`
+    // of a /32 that matches no sender shuts it entirely.
+    const std::string clients =
+        spec.hub_ip != net::Ipv4Address()
+            ? net::Ipv4Prefix(spec.hub_ip, 32).ToString()
+            : "255.255.255.255/32";
+    config += "dnsguard :: DnsGuard(allow_any=false, expected_clients=" +
+              clients + ")\n";
+    config += "dnslimit :: RateLimiter(rate_pps=50.0, burst=20)\n";
+    chain.push_back("dnsguard");
+    chain.push_back("dnslimit");
+    profile_parts.emplace_back("dns_guard");
+  }
+  if (vulns.count(Vulnerability::kDefaultPassword)) {
+    config += "proxy :: PasswordProxy(device_ip=" + spec.ip.ToString() +
+              ", user=admin, password=synthesized-" + spec.name +
+              ", device_user=admin, device_password=" + spec.credential +
+              ")\n";
+    chain.push_back("proxy");
+    profile_parts.emplace_back("password_proxy");
+  }
+  const bool needs_allowlist = vulns.count(Vulnerability::kExposedAccess) ||
+                               vulns.count(Vulnerability::kNoCredentials);
+  if (needs_allowlist && spec.hub_ip != net::Ipv4Address()) {
+    // The device cannot authenticate anyone, so the network does it:
+    // only the hub/controller may talk to it ("virtual credential").
+    config += "acl :: IpFilter(allow=\"" + spec.hub_ip.ToString() +
+              "\", default=deny)\n";
+    chain.push_back("acl");
+    profile_parts.emplace_back("hub_allowlist");
+  } else {
+    if (needs_allowlist) *fully_blocking = false;  // no hub to pin to
+    config += "fw :: StatefulFirewall(allow_inbound=false, inside=" +
+              lan.ToString() + ")\n";
+    chain.push_back("fw");
+    profile_parts.emplace_back("firewall");
+  }
+  config += "sig :: SignatureMatcher(rules=builtin)\n";
+  chain.push_back("sig");
+  profile_parts.emplace_back("sig");
+
+  config += Join(chain, " -> ") + "\n";
+
+  policy::Posture posture;
+  posture.profile = "mitigate(" + Join(profile_parts, "+") + ")";
+  posture.umbox_config = std::move(config);
+  posture.tunnel = true;
+
+  for (const auto vuln : vulns) {
+    if (!MitigationBlocks(vuln) &&
+        !(needs_allowlist && spec.hub_ip != net::Ipv4Address())) {
+      *fully_blocking = false;
+    }
+  }
+  return posture;
+}
+
+}  // namespace
+
+SynthesisResult SynthesizePolicy(const devices::DeviceRegistry& registry,
+                                 const AttackGraph& graph,
+                                 const std::set<std::string>& goals,
+                                 const net::Ipv4Prefix& lan) {
+  SynthesisResult result;
+  result.policy.SetDefault(core::MonitorPosture());
+
+  // ---- One combined mitigation posture per flawed device.
+  std::map<DeviceId, bool> device_blocked;
+  for (const devices::Device* device : registry.All()) {
+    const auto& spec = device->spec();
+    if (!spec.vulns.empty()) {
+      bool fully_blocking = false;
+      policy::PolicyRule rule;
+      rule.name = "mitigate-" + spec.name;
+      rule.when = policy::StatePredicate::Any();
+      rule.device = spec.id;
+      rule.posture = CombinedMitigation(*device, lan, &fully_blocking);
+      rule.priority = 10;
+      device_blocked[spec.id] = fully_blocking;
+      result.log.push_back(rule.name + " -> posture " +
+                           rule.posture.profile +
+                           (fully_blocking ? "" : " (partial)"));
+      result.policy.Add(std::move(rule));
+    }
+
+    // ---- Escalation: degraded contexts tighten the posture, cutting
+    // "drive state of X" and automation stages at runtime.
+    policy::PolicyRule quarantine;
+    quarantine.name = "quarantine-compromised-" + spec.name;
+    quarantine.when = policy::StatePredicate::Eq(
+        policy::StateSpace::ContextDim(spec.name), "compromised");
+    quarantine.device = spec.id;
+    quarantine.posture = core::QuarantinePosture();
+    quarantine.priority = 100;
+    result.policy.Add(quarantine);
+
+    policy::PolicyRule suspect;
+    suspect.name = "firewall-suspicious-" + spec.name;
+    suspect.when = policy::StatePredicate::Eq(
+        policy::StateSpace::ContextDim(spec.name), "suspicious");
+    suspect.device = spec.id;
+    suspect.posture = core::FirewallPosture(lan);
+    suspect.priority = 90;
+    result.policy.Add(suspect);
+  }
+
+  // ---- Verification: drop neutralized entry exploits, re-run
+  // reachability on the residual graph.
+  AttackGraph residual;
+  residual.AddFact("net_access");
+  for (const auto& exploit : graph.exploits()) {
+    const bool is_entry =
+        exploit.preconditions.size() == 1 &&
+        exploit.preconditions.front() == "net_access";
+    bool neutralized = false;
+    if (is_entry && exploit.device != kInvalidDevice) {
+      const auto it = device_blocked.find(exploit.device);
+      neutralized = it != device_blocked.end() && it->second;
+    }
+    if (neutralized) {
+      result.mitigated_exploits.insert(exploit.name);
+      result.log.push_back("neutralized: " + exploit.name);
+    } else {
+      residual.AddExploit(exploit);
+    }
+  }
+  for (const auto& goal : goals) {
+    if (residual.CanReach(goal)) {
+      result.residual_goals.insert(goal);
+      result.log.push_back("RESIDUAL RISK: " + goal + " still reachable");
+    }
+  }
+  return result;
+}
+
+}  // namespace iotsec::learn

@@ -1,0 +1,47 @@
+// Policy synthesis from attack graphs (the §4.2 -> §3 bridge).
+//
+// The paper ends §4.2 with "such models can also be used to automatically
+// identify potential multi-stage attacks"; the natural next step — which
+// it leaves as future work — is to *close the loop*: derive, from the
+// attack graph, the FSM policy rules whose postures cut every discovered
+// attack path. SynthesizePolicy does exactly that:
+//
+//   - every vulnerability-bearing exploit gets a mitigating posture
+//     (backdoor/no-creds -> signature blocking + context escalation,
+//     default password -> password proxy, open resolver -> DNS guard,
+//     unprotected keys -> key-exfil signature block);
+//   - escalation rules quarantine devices whose context degrades, cutting
+//     the "drive state of X" and automation steps downstream;
+//   - the result is verified by re-running reachability with mitigated
+//     exploits removed.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "devices/registry.h"
+#include "learn/attack_graph.h"
+#include "policy/fsm_policy.h"
+
+namespace iotsec::learn {
+
+struct SynthesisResult {
+  policy::FsmPolicy policy;
+  /// Exploit names neutralized by a synthesized posture.
+  std::set<std::string> mitigated_exploits;
+  /// Goals (from `goals`) still reachable after mitigation — residual
+  /// risk the operator must handle out of band.
+  std::set<std::string> residual_goals;
+  /// Human-readable synthesis log.
+  std::vector<std::string> log;
+};
+
+/// Synthesizes a policy that cuts every path from "net_access" to each
+/// goal in `goals`, for the given deployment and its attack graph.
+/// `lan` scopes the firewall/DNS-guard postures.
+SynthesisResult SynthesizePolicy(const devices::DeviceRegistry& registry,
+                                 const AttackGraph& graph,
+                                 const std::set<std::string>& goals,
+                                 const net::Ipv4Prefix& lan);
+
+}  // namespace iotsec::learn

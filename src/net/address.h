@@ -1,0 +1,111 @@
+// Link-layer and network-layer addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace iotsec::net {
+
+/// 48-bit Ethernet MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> bytes)
+      : bytes_(bytes) {}
+
+  /// Builds a locally administered MAC from a small integer id.
+  static MacAddress FromId(std::uint32_t id);
+
+  /// Parses "aa:bb:cc:dd:ee:ff". Returns nullopt on malformed input.
+  static std::optional<MacAddress> Parse(std::string_view s);
+
+  static constexpr MacAddress Broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  [[nodiscard]] const std::array<std::uint8_t, 6>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] bool IsBroadcast() const {
+    return *this == Broadcast();
+  }
+  [[nodiscard]] std::string ToString() const;
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+/// IPv4 address stored in host order for arithmetic convenience.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses dotted-quad notation. Returns nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(std::string_view s);
+
+  [[nodiscard]] std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string ToString() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix, e.g. 10.0.0.0/24. A zero-length prefix matches everything.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Address base, int length);
+
+  /// Parses "a.b.c.d/len" (or a bare address, treated as /32).
+  static std::optional<Ipv4Prefix> Parse(std::string_view s);
+
+  /// Prefix matching any address.
+  static Ipv4Prefix Any() { return {}; }
+
+  [[nodiscard]] bool Contains(Ipv4Address addr) const {
+    return (addr.value() & mask_) == base_;
+  }
+  [[nodiscard]] int Length() const { return length_; }
+  [[nodiscard]] Ipv4Address Base() const { return Ipv4Address(base_); }
+  [[nodiscard]] std::string ToString() const;
+
+  auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  std::uint32_t base_ = 0;
+  std::uint32_t mask_ = 0;
+  int length_ = 0;
+};
+
+}  // namespace iotsec::net
+
+template <>
+struct std::hash<iotsec::net::MacAddress> {
+  std::size_t operator()(const iotsec::net::MacAddress& m) const noexcept {
+    std::size_t h = 0;
+    for (auto b : m.bytes()) h = h * 131 + b;
+    return h;
+  }
+};
+
+template <>
+struct std::hash<iotsec::net::Ipv4Address> {
+  std::size_t operator()(const iotsec::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,52 @@
+#include "net/link.h"
+
+#include "common/log.h"
+
+namespace iotsec::net {
+
+void Link::Attach(int end, PacketSink* sink, int port) {
+  ends_[end].sink = sink;
+  ends_[end].port = port;
+}
+
+void Link::Send(int from_end, PacketPtr pkt) {
+  Direction& dir = dirs_[from_end];
+  if (config_.loss_rate > 0.0 && loss_rng_.NextBool(config_.loss_rate)) {
+    ++dir.stats.lost;
+    return;
+  }
+  if (dir.queue.size() >= config_.queue_limit) {
+    ++dir.stats.drops;
+    return;
+  }
+  dir.queue.push_back(std::move(pkt));
+  if (!dir.transmitting) StartTransmit(from_end);
+}
+
+void Link::StartTransmit(int direction) {
+  Direction& dir = dirs_[direction];
+  if (dir.queue.empty()) {
+    dir.transmitting = false;
+    return;
+  }
+  dir.transmitting = true;
+  PacketPtr pkt = dir.queue.front();
+  dir.queue.pop_front();
+
+  const double bits = static_cast<double>(pkt->size()) * 8.0;
+  const auto tx_delay =
+      static_cast<SimDuration>(bits / config_.bandwidth_bps * kSecond);
+
+  ++dir.stats.packets;
+  dir.stats.bytes += pkt->size();
+
+  // Serialization completes after tx_delay; delivery after propagation.
+  const int to_end = 1 - direction;
+  sim_.After(tx_delay, [this, direction] { StartTransmit(direction); });
+  sim_.After(tx_delay + config_.latency, [this, to_end, pkt]() mutable {
+    if (ends_[to_end].sink == nullptr) return;
+    ends_[to_end].sink->Receive(std::move(pkt), ends_[to_end].port);
+  });
+}
+
+}  // namespace iotsec::net

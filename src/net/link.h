@@ -1,0 +1,71 @@
+// Point-to-point simulated link with latency, bandwidth and a drop-tail
+// queue. Links are full-duplex: each direction has its own transmit state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/rng.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace iotsec::net {
+
+struct LinkConfig {
+  SimDuration latency = 100 * kMicrosecond;  // propagation delay
+  double bandwidth_bps = 100e6;              // 100 Mbit/s default
+  std::size_t queue_limit = 256;             // packets per direction
+  /// Random loss probability per packet (0 = lossless, the default).
+  /// Losses are drawn from a deterministic per-link stream seeded by
+  /// `loss_seed`, so runs stay reproducible.
+  double loss_rate = 0.0;
+  std::uint64_t loss_seed = 0x10552;
+};
+
+struct LinkStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t drops = 0;       // queue overflow
+  std::uint64_t lost = 0;        // random loss
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& simulator, LinkConfig config = {})
+      : sim_(simulator), config_(config), loss_rng_(config.loss_seed) {}
+
+  /// Attaches endpoint `end` (0 or 1). `port` is the port index passed to
+  /// the sink's Receive() on delivery.
+  void Attach(int end, PacketSink* sink, int port);
+
+  /// Sends `pkt` from endpoint `from_end` toward the other endpoint.
+  /// Serialization delay is size/bandwidth; transmissions queue FIFO.
+  void Send(int from_end, PacketPtr pkt);
+
+  [[nodiscard]] const LinkStats& stats(int direction) const {
+    return dirs_[direction].stats;
+  }
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+ private:
+  struct Endpoint {
+    PacketSink* sink = nullptr;
+    int port = 0;
+  };
+  struct Direction {
+    std::deque<PacketPtr> queue;
+    bool transmitting = false;
+    LinkStats stats;
+  };
+
+  void StartTransmit(int direction);
+
+  sim::Simulator& sim_;
+  LinkConfig config_;
+  Rng loss_rng_;
+  Endpoint ends_[2];
+  Direction dirs_[2];  // dirs_[i] carries traffic from end i to end 1-i
+};
+
+}  // namespace iotsec::net

@@ -1,0 +1,60 @@
+// The unit of data exchanged on the simulated network.
+//
+// A Packet owns its raw bytes (the serialized Ethernet frame) plus
+// simulation metadata: where it entered the network, creation time, and a
+// trace of the elements it traversed (used by tests and the enforcement
+// benches to verify steering).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace iotsec::net {
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(Bytes data) : data_(std::move(data)) {}
+
+  [[nodiscard]] const Bytes& data() const { return data_; }
+  [[nodiscard]] Bytes& data() { return data_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  SimTime created_at = 0;
+  /// Port index on the node currently holding the packet.
+  int ingress_port = -1;
+  /// Device the packet is attributed to (set by the edge switch when the
+  /// source is a known device); kInvalidDevice otherwise.
+  DeviceId attributed_device = kInvalidDevice;
+
+  /// Appends a hop label ("umbox:fw-7", "switch:2") to the trace.
+  void Trace(std::string hop) { trace_.push_back(std::move(hop)); }
+  [[nodiscard]] const std::vector<std::string>& trace() const {
+    return trace_;
+  }
+
+ private:
+  Bytes data_;
+  std::vector<std::string> trace_;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+inline PacketPtr MakePacket(Bytes data) {
+  return std::make_shared<Packet>(std::move(data));
+}
+
+/// Anything that can accept packets on numbered ports: switches, device
+/// NICs, µmbox hosts, the attacker node.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void Receive(PacketPtr pkt, int port) = 0;
+};
+
+}  // namespace iotsec::net

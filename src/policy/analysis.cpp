@@ -1,0 +1,142 @@
+#include "policy/analysis.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace iotsec::policy {
+namespace {
+
+/// Union-find over dimension indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+PolicyAnalysis AnalyzePolicy(const FsmPolicy& policy, const StateSpace& space,
+                             const std::vector<DeviceId>& devices,
+                             double enumeration_limit) {
+  PolicyAnalysis out;
+  out.raw_states = space.TotalStates();
+
+  // ---- Independence partition over referenced dimensions.
+  UnionFind uf(space.DimensionCount());
+  std::set<std::size_t> referenced;
+  for (DeviceId d : devices) {
+    std::vector<std::size_t> dims;
+    for (const auto& name : policy.RelevantDims(d)) {
+      if (auto idx = space.IndexOf(name)) {
+        dims.push_back(*idx);
+        referenced.insert(*idx);
+      }
+    }
+    for (std::size_t i = 1; i < dims.size(); ++i) uf.Union(dims[0], dims[i]);
+  }
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t idx : referenced) groups[uf.Find(idx)].push_back(idx);
+  out.partitioned_states = 0;
+  for (const auto& [root, members] : groups) {
+    double product = 1;
+    std::vector<std::string> names;
+    for (std::size_t idx : members) {
+      product *= static_cast<double>(space.Dim(idx).values.size());
+      names.push_back(space.Dim(idx).name);
+    }
+    out.partitioned_states += product;
+    out.partitions.push_back(std::move(names));
+  }
+
+  // ---- Per-device projection + distinct-posture count.
+  for (DeviceId d : devices) {
+    const auto relevant = policy.RelevantDims(d);
+    std::vector<std::size_t> dims;
+    double projected = 1;
+    for (const auto& name : relevant) {
+      if (auto idx = space.IndexOf(name)) {
+        dims.push_back(*idx);
+        projected *= static_cast<double>(space.Dim(*idx).values.size());
+      }
+    }
+    out.projected_states[d] = projected;
+
+    if (projected <= enumeration_limit) {
+      // Enumerate the projected space exactly; unconstrained dimensions
+      // stay at value 0 (they cannot change the verdict).
+      std::set<Posture> postures;
+      SystemState state = space.InitialState();
+      std::vector<std::size_t> counter(dims.size(), 0);
+      for (;;) {
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+          state.values[dims[i]] = static_cast<int>(counter[i]);
+        }
+        postures.insert(policy.Evaluate(space, state, d));
+        // Odometer increment.
+        std::size_t pos = 0;
+        while (pos < dims.size()) {
+          if (++counter[pos] < space.Dim(dims[pos]).values.size()) break;
+          counter[pos] = 0;
+          ++pos;
+        }
+        if (pos == dims.size()) break;
+        if (dims.empty()) break;
+      }
+      if (dims.empty()) {
+        postures.insert(policy.Evaluate(space, space.InitialState(), d));
+      }
+      out.distinct_postures[d] = postures.size();
+    } else {
+      std::size_t rule_count = 0;
+      for (const auto& r : policy.rules()) {
+        if (r.device == d) ++rule_count;
+      }
+      out.distinct_postures[d] = rule_count + 1;  // upper bound
+    }
+  }
+
+  // ---- Conflicts and shadowing (symbolic, pairwise).
+  const auto& rules = policy.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    for (std::size_t j = i + 1; j < rules.size(); ++j) {
+      const auto& a = rules[i];
+      const auto& b = rules[j];
+      if (a.device != b.device) continue;
+      if (!a.when.Overlaps(b.when, space)) continue;
+      if (a.priority == b.priority && !(a.posture == b.posture)) {
+        out.conflicts.push_back(
+            {i, j,
+             "same priority, overlapping predicates, different postures (" +
+                 a.posture.profile + " vs " + b.posture.profile + ")"});
+      }
+    }
+  }
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    for (std::size_t j = 0; j < rules.size(); ++j) {
+      if (i == j) continue;
+      const auto& low = rules[i];
+      const auto& high = rules[j];
+      if (low.device != high.device) continue;
+      if (high.priority <= low.priority) continue;
+      if (low.when.IsSubsumedBy(high.when, space)) {
+        out.shadowed_rules.push_back(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace iotsec::policy

@@ -1,0 +1,49 @@
+// Policy analysis: the open problems §3.2 flags.
+//
+// 1. State explosion — raw |S| is combinatorial; AnalyzePolicy computes it
+//    and the two prunings the paper proposes:
+//    - independence partition: devices whose policies read disjoint
+//      dimension sets factor the space into a *sum* of much smaller
+//      products rather than one giant product;
+//    - posture projection/collapse: each device's posture depends only on
+//      the dimensions its rules mention, and even those collapse into a
+//      handful of distinct postures.
+// 2. Conflict/correctness checking — overlapping same-priority rules that
+//    demand different postures, and rules shadowed by higher-priority
+//    subsumers, are both detected symbolically (no state enumeration).
+#pragma once
+
+#include <vector>
+
+#include "policy/fsm_policy.h"
+
+namespace iotsec::policy {
+
+struct PolicyConflict {
+  std::size_t rule_a = 0;  // indices into FsmPolicy::rules()
+  std::size_t rule_b = 0;
+  std::string reason;
+};
+
+struct PolicyAnalysis {
+  /// ∏ |dims| — the brute-force FSM size.
+  double raw_states = 0;
+  /// Σ over independent dimension groups of ∏ |dims in group|.
+  double partitioned_states = 0;
+  /// Per device: ∏ over the dimensions its rules actually read.
+  std::map<DeviceId, double> projected_states;
+  /// Per device: number of distinct postures reachable (exact when the
+  /// projection is small enough to enumerate, else #rules+1 upper bound).
+  std::map<DeviceId, std::size_t> distinct_postures;
+  /// Independent dimension groups (referenced dimensions only).
+  std::vector<std::vector<std::string>> partitions;
+
+  std::vector<PolicyConflict> conflicts;
+  std::vector<std::size_t> shadowed_rules;
+};
+
+PolicyAnalysis AnalyzePolicy(const FsmPolicy& policy, const StateSpace& space,
+                             const std::vector<DeviceId>& devices,
+                             double enumeration_limit = 1e6);
+
+}  // namespace iotsec::policy

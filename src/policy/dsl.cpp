@@ -1,0 +1,213 @@
+#include "policy/dsl.h"
+
+#include "common/strings.h"
+
+namespace iotsec::policy {
+namespace {
+
+/// Parses one condition: "dim == value" or "dim in {a, b}".
+bool ParseCondition(std::string_view text, StatePredicate& predicate,
+                    std::string* error) {
+  const auto eq = text.find("==");
+  if (eq != std::string_view::npos) {
+    const auto dim = Trim(text.substr(0, eq));
+    const auto value = Trim(text.substr(eq + 2));
+    if (dim.empty() || value.empty()) {
+      *error = "malformed '==' condition";
+      return false;
+    }
+    predicate.And(std::string(dim), std::string(value));
+    return true;
+  }
+  const auto in_pos = text.find(" in ");
+  if (in_pos != std::string_view::npos) {
+    const auto dim = Trim(text.substr(0, in_pos));
+    auto rest = Trim(text.substr(in_pos + 4));
+    if (rest.size() < 2 || rest.front() != '{' || rest.back() != '}') {
+      *error = "'in' requires {v1, v2, ...}";
+      return false;
+    }
+    std::set<std::string> values;
+    for (const auto& v : Split(rest.substr(1, rest.size() - 2), ',')) {
+      const auto trimmed = Trim(v);
+      if (!trimmed.empty()) values.insert(std::string(trimmed));
+    }
+    if (dim.empty() || values.empty()) {
+      *error = "'in' needs a dimension and at least one value";
+      return false;
+    }
+    predicate.AndIn(std::string(dim), std::move(values));
+    return true;
+  }
+  *error = "condition must use '==' or 'in {...}'";
+  return false;
+}
+
+/// Splits a condition clause on '&&'.
+std::vector<std::string> SplitConditions(std::string_view clause) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto pos = clause.find("&&", start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(clause.substr(start));
+      return out;
+    }
+    out.emplace_back(clause.substr(start, pos - start));
+    start = pos + 2;
+  }
+}
+
+}  // namespace
+
+PolicyParseResult ParsePolicyText(
+    std::string_view text,
+    const std::map<std::string, DeviceId>& device_ids,
+    const PostureCatalog& catalog) {
+  PolicyParseResult result;
+  int line_no = 0;
+  // Support trailing-backslash continuation.
+  std::string merged;
+  std::vector<std::pair<int, std::string>> statements;
+  int statement_start = 0;
+  for (const auto& raw : Split(text, '\n')) {
+    ++line_no;
+    auto line = Trim(raw);
+    if (merged.empty()) statement_start = line_no;
+    if (!line.empty() && line.back() == '\\') {
+      merged += std::string(line.substr(0, line.size() - 1)) + " ";
+      continue;
+    }
+    merged += std::string(line);
+    const auto full = Trim(merged);
+    if (!full.empty() && full.front() != '#') {
+      statements.emplace_back(statement_start, std::string(full));
+    }
+    merged.clear();
+  }
+
+  auto fail = [&](int at, std::string why) {
+    result.errors.push_back("line " + std::to_string(at) + ": " +
+                            std::move(why));
+  };
+
+  for (const auto& [at, stmt] : statements) {
+    if (StartsWith(stmt, "default ")) {
+      const std::string name(Trim(stmt.substr(8)));
+      const Posture* posture = catalog.Find(name);
+      if (posture == nullptr) {
+        fail(at, "unknown posture: " + name);
+        continue;
+      }
+      result.policy.SetDefault(*posture);
+      continue;
+    }
+    if (!StartsWith(stmt, "rule ")) {
+      fail(at, "expected 'default' or 'rule'");
+      continue;
+    }
+    // rule <name> prio <N> device <dev> [when <conds>] posture <name>
+    PolicyRule rule;
+    std::string_view rest = std::string_view(stmt).substr(5);
+
+    const auto prio_pos = rest.find(" prio ");
+    const auto device_pos = rest.find(" device ");
+    const auto when_pos = rest.find(" when ");
+    const auto posture_pos = rest.rfind(" posture ");
+    if (prio_pos == std::string_view::npos ||
+        device_pos == std::string_view::npos ||
+        posture_pos == std::string_view::npos || device_pos < prio_pos) {
+      fail(at, "rule needs: rule <name> prio <N> device <dev> [when ...] "
+               "posture <name>");
+      continue;
+    }
+    rule.name = std::string(Trim(rest.substr(0, prio_pos)));
+    std::uint64_t prio = 0;
+    if (!ParseUint(Trim(rest.substr(prio_pos + 6,
+                                    device_pos - prio_pos - 6)),
+                   prio)) {
+      fail(at, "bad priority");
+      continue;
+    }
+    rule.priority = static_cast<int>(prio);
+
+    const auto device_end =
+        when_pos != std::string_view::npos ? when_pos : posture_pos;
+    const std::string device_name(
+        Trim(rest.substr(device_pos + 8, device_end - device_pos - 8)));
+    const auto dev_it = device_ids.find(device_name);
+    if (dev_it == device_ids.end()) {
+      fail(at, "unknown device: " + device_name);
+      continue;
+    }
+    rule.device = dev_it->second;
+
+    if (when_pos != std::string_view::npos) {
+      if (posture_pos < when_pos) {
+        fail(at, "posture must come after when");
+        continue;
+      }
+      const auto clause =
+          rest.substr(when_pos + 6, posture_pos - when_pos - 6);
+      bool cond_ok = true;
+      for (const auto& cond : SplitConditions(clause)) {
+        std::string error;
+        if (!ParseCondition(cond, rule.when, &error)) {
+          fail(at, error);
+          cond_ok = false;
+          break;
+        }
+      }
+      if (!cond_ok) continue;
+    }
+
+    const std::string posture_name(Trim(rest.substr(posture_pos + 9)));
+    const Posture* posture = catalog.Find(posture_name);
+    if (posture == nullptr) {
+      fail(at, "unknown posture: " + posture_name);
+      continue;
+    }
+    rule.posture = *posture;
+    result.policy.Add(std::move(rule));
+  }
+  return result;
+}
+
+std::string PolicyToText(const FsmPolicy& policy,
+                         const std::map<std::string, DeviceId>& device_ids) {
+  std::map<DeviceId, std::string> names;
+  for (const auto& [name, id] : device_ids) names[id] = name;
+
+  std::string out = "default " + policy.DefaultPosture().profile + "\n";
+  for (const auto& rule : policy.rules()) {
+    out += "rule " + rule.name + " prio " + std::to_string(rule.priority) +
+           " device ";
+    const auto it = names.find(rule.device);
+    out += it != names.end() ? it->second
+                             : ("#" + std::to_string(rule.device));
+    if (!rule.when.constraints.empty()) {
+      out += " when ";
+      bool first = true;
+      for (const auto& [dim, values] : rule.when.constraints) {
+        if (!first) out += " && ";
+        first = false;
+        if (values.size() == 1) {
+          out += dim + " == " + *values.begin();
+        } else {
+          out += dim + " in {";
+          bool vfirst = true;
+          for (const auto& v : values) {
+            if (!vfirst) out += ", ";
+            vfirst = false;
+            out += v;
+          }
+          out += "}";
+        }
+      }
+    }
+    out += " posture " + rule.posture.profile + "\n";
+  }
+  return out;
+}
+
+}  // namespace iotsec::policy

@@ -1,0 +1,64 @@
+// Text DSL for FSM policies.
+//
+// Lets operators author Posture(S_k, D_i) policies as text (and lets the
+// crowd repository ship policy snippets alongside signatures):
+//
+//   # comment
+//   default monitor
+//   rule block-open prio 10 device window <backslash-continuation>
+//        when ctx:fire_alarm == suspicious && env:smoke == on
+//        posture quarantine
+//   rule gate prio 20 device wemo
+//        when dev:cam in {idle, streaming} posture firewall
+//
+// (a trailing backslash continues a statement onto the next line)
+//
+// Postures are referenced by name through a PostureCatalog: the built-ins
+// from core/postures.h under their profile names plus any custom entries
+// the caller registers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/fsm_policy.h"
+
+namespace iotsec::policy {
+
+class PostureCatalog {
+ public:
+  void Register(std::string name, Posture posture) {
+    postures_[std::move(name)] = std::move(posture);
+  }
+  [[nodiscard]] const Posture* Find(const std::string& name) const {
+    const auto it = postures_.find(name);
+    return it == postures_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t Size() const { return postures_.size(); }
+
+ private:
+  std::map<std::string, Posture> postures_;
+};
+
+struct PolicyParseResult {
+  FsmPolicy policy;
+  std::vector<std::string> errors;  // empty on success
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Parses policy text. `device_ids` maps the device names used in the
+/// text to their DeviceIds; `catalog` resolves posture names.
+PolicyParseResult ParsePolicyText(
+    std::string_view text,
+    const std::map<std::string, DeviceId>& device_ids,
+    const PostureCatalog& catalog);
+
+/// Serializes a policy back to DSL text (postures by profile name; the
+/// catalog used at parse time must know them to round-trip).
+std::string PolicyToText(const FsmPolicy& policy,
+                         const std::map<std::string, DeviceId>& device_ids);
+
+}  // namespace iotsec::policy

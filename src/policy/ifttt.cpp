@@ -1,0 +1,139 @@
+#include "policy/ifttt.h"
+
+namespace iotsec::policy {
+namespace {
+
+bool Contradicts(const RecipeAction& a, const RecipeAction& b) {
+  if (a.target_device != b.target_device) return false;
+  using proto::IotCommand;
+  auto opposite = [](IotCommand x, IotCommand y) {
+    return (x == IotCommand::kTurnOn && y == IotCommand::kTurnOff) ||
+           (x == IotCommand::kTurnOff && y == IotCommand::kTurnOn) ||
+           (x == IotCommand::kOpen && y == IotCommand::kClose) ||
+           (x == IotCommand::kClose && y == IotCommand::kOpen) ||
+           (x == IotCommand::kLock && y == IotCommand::kUnlock) ||
+           (x == IotCommand::kUnlock && y == IotCommand::kLock);
+  };
+  if (opposite(a.command, b.command)) return true;
+  if (a.command == IotCommand::kSet && b.command == IotCommand::kSet &&
+      a.argument != b.argument) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<RecipeAction> IftttEngine::Fire(const std::string& source,
+                                            const std::string& value) const {
+  std::vector<RecipeAction> fired;
+  for (const auto& recipe : recipes_) {
+    if (recipe.trigger.source == source && recipe.trigger.value == value) {
+      fired.push_back(recipe.action);
+    }
+  }
+  return fired;
+}
+
+std::vector<RecipeConflict> IftttEngine::DetectConflicts() const {
+  std::vector<RecipeConflict> out;
+  for (std::size_t i = 0; i < recipes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < recipes_.size(); ++j) {
+      const auto& a = recipes_[i];
+      const auto& b = recipes_[j];
+      if (a.trigger == b.trigger && Contradicts(a.action, b.action)) {
+        out.push_back({i, j,
+                       "both fire on " + a.trigger.source + "=" +
+                           a.trigger.value + " with contradictory actions on " +
+                           a.action.target_device});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> IftttEngine::DependencyEdges()
+    const {
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const auto& recipe : recipes_) {
+    edges.emplace_back(recipe.trigger.source, recipe.action.target_device);
+  }
+  return edges;
+}
+
+std::map<std::string, std::size_t> IftttEngine::MentionCounts() const {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& recipe : recipes_) {
+    ++counts[recipe.trigger.source];
+    if (recipe.action.target_device != recipe.trigger.source) {
+      ++counts[recipe.action.target_device];
+    }
+  }
+  return counts;
+}
+
+std::vector<Recipe> BuildPaperRecipeCorpus(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Recipe> corpus;
+
+  // Table 2's three example recipes, verbatim.
+  corpus.push_back({"nest-smoke-hue",
+                    {"NEST Protect", "smoke"},
+                    {"Philips hue", proto::IotCommand::kTurnOn, ""}});
+  corpus.push_back({"smartthings-away-wemo",
+                    {"SmartThings", "nobody_home"},
+                    {"WeMo Insight", proto::IotCommand::kTurnOff, ""}});
+  corpus.push_back({"scout-alarm-camera",
+                    {"Scout Alarm", "triggered"},
+                    {"Manything Camera", proto::IotCommand::kTurnOn, ""}});
+
+  struct Hub {
+    const char* device;
+    std::size_t target_total;  // Table 2 count
+    std::vector<const char*> trigger_values;
+  };
+  const std::vector<Hub> hubs = {
+      {"NEST Protect", 188, {"smoke", "co_alarm", "battery_low", "ok"}},
+      {"WeMo Insight", 227, {"on", "off", "standby", "power_spike"}},
+      {"Scout Alarm", 63, {"triggered", "armed", "disarmed", "door_open"}},
+  };
+  const std::vector<const char*> partners = {
+      "Philips hue",   "Manything Camera", "LIFX bulb",     "Harmony remote",
+      "GE appliance",  "Nest Thermostat",  "WeMo switch",   "SmartThings",
+      "Hue lightstrip", "August lock",     "D-Link camera", "Ecobee",
+  };
+  const std::vector<proto::IotCommand> commands = {
+      proto::IotCommand::kTurnOn, proto::IotCommand::kTurnOff,
+      proto::IotCommand::kOpen,   proto::IotCommand::kClose,
+      proto::IotCommand::kLock,   proto::IotCommand::kUnlock,
+      proto::IotCommand::kSet,
+  };
+
+  for (const auto& hub : hubs) {
+    // We already seeded one recipe per hub above.
+    for (std::size_t i = 1; i < hub.target_total; ++i) {
+      Recipe recipe;
+      recipe.name = std::string(hub.device) + "-" + std::to_string(i);
+      // Half the recipes trigger *on* the hub device, half act on it —
+      // both directions count as cross-device dependencies.
+      const bool hub_is_trigger = rng.NextBool(0.5);
+      const char* partner = partners[rng.NextBelow(partners.size())];
+      const auto cmd = commands[rng.NextBelow(commands.size())];
+      if (hub_is_trigger) {
+        recipe.trigger = {hub.device,
+                          hub.trigger_values[rng.NextBelow(
+                              hub.trigger_values.size())]};
+        recipe.action = {partner, cmd,
+                         cmd == proto::IotCommand::kSet ? "level=50" : ""};
+      } else {
+        recipe.trigger = {partner, rng.NextBool() ? "on" : "off"};
+        recipe.action = {hub.device, cmd,
+                         cmd == proto::IotCommand::kSet ? "mode=auto" : ""};
+      }
+      corpus.push_back(std::move(recipe));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace iotsec::policy

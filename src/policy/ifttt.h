@@ -1,0 +1,80 @@
+// The IFTTT strawman (§3.1) and the Table 2 recipe corpus.
+//
+// Recipes are trigger->action pairs ("If Nest Protect detects smoke, turn
+// Philips hue lights on"). The engine reproduces their three §3.1
+// failings so benches can measure them: no security context, independent
+// recipes that conflict, and incomplete coverage an attacker can exploit.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "proto/iotctl.h"
+
+namespace iotsec::policy {
+
+struct RecipeTrigger {
+  /// Source of the trigger: a device name or environment variable.
+  std::string source;
+  /// Value that fires the trigger ("alarm", "on", "motion", "smoke=yes").
+  std::string value;
+  bool operator==(const RecipeTrigger&) const = default;
+  auto operator<=>(const RecipeTrigger&) const = default;
+};
+
+struct RecipeAction {
+  std::string target_device;
+  proto::IotCommand command = proto::IotCommand::kNone;
+  std::string argument;  // for kSet
+  bool operator==(const RecipeAction&) const = default;
+};
+
+struct Recipe {
+  std::string name;
+  RecipeTrigger trigger;
+  RecipeAction action;
+};
+
+struct RecipeConflict {
+  std::size_t recipe_a = 0;
+  std::size_t recipe_b = 0;
+  std::string reason;
+};
+
+class IftttEngine {
+ public:
+  void Add(Recipe recipe) { recipes_.push_back(std::move(recipe)); }
+  [[nodiscard]] const std::vector<Recipe>& recipes() const {
+    return recipes_;
+  }
+
+  /// Actions fired by an observed (source, value) event — *all* of them,
+  /// conflicting or not, exactly as independent recipes execute.
+  [[nodiscard]] std::vector<RecipeAction> Fire(
+      const std::string& source, const std::string& value) const;
+
+  /// §3.1 limitation 2 made checkable: recipes with overlapping triggers
+  /// demanding contradictory actions on the same device.
+  [[nodiscard]] std::vector<RecipeConflict> DetectConflicts() const;
+
+  /// Cross-device dependency edges (trigger source -> action target).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  DependencyEdges() const;
+
+  /// Per-device count of recipes that mention it (Table 2's statistic).
+  [[nodiscard]] std::map<std::string, std::size_t> MentionCounts() const;
+
+ private:
+  std::vector<Recipe> recipes_;
+};
+
+/// Builds a recipe corpus matching Table 2: 188 recipes around "NEST
+/// Protect", 227 around "Wemo Insight", 63 around "Scout Alarm" (plus the
+/// paper's three example recipes verbatim). Deterministic for a seed.
+std::vector<Recipe> BuildPaperRecipeCorpus(std::uint64_t seed = 2015);
+
+}  // namespace iotsec::policy

@@ -1,0 +1,43 @@
+#include "policy/match_action.h"
+
+namespace iotsec::policy {
+
+MatchActionVerdict MatchActionPolicy::Evaluate(
+    const proto::ParsedFrame& frame, proto::ConnectionTracker* tracker,
+    SimTime now) const {
+  for (const auto& rule : rules_) {
+    if (!rule.match.Matches(frame, /*in_port=*/-1)) continue;
+    if (rule.verdict == MatchActionVerdict::kDeny && rule.allow_established &&
+        tracker != nullptr && tracker->IsReplyToTracked(frame, now)) {
+      return MatchActionVerdict::kAllow;
+    }
+    return rule.verdict;
+  }
+  return MatchActionVerdict::kAllow;
+}
+
+std::vector<ExpressivenessRequirement> ScenarioRequirements() {
+  // One row per policy the paper's motivating scenarios need. The
+  // match-action column is what a (stateful) firewall can express; the
+  // IFTTT column is what independent trigger-action recipes can; the FSM
+  // column is the §3.2 abstraction.
+  return {
+      {"block all off-LAN access to the camera admin port", true, false,
+       true},
+      {"allow camera replies to outbound connections only", true, false,
+       true},
+      {"if smoke detected, set lights to red", false, true, true},
+      {"block window 'open' while the fire alarm context is suspicious",
+       false, false, true},
+      {"allow oven 'on' only while the camera sees a person", false, false,
+       true},
+      {"quarantine any device whose context becomes compromised", false,
+       false, true},
+      {"tighten the plug's posture when its SKU has a published exploit",
+       false, false, true},
+      {"resolve the smoke-alarm vs presence-rule conflict deterministically",
+       false, false, true},
+  };
+}
+
+}  // namespace iotsec::policy

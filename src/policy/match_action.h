@@ -1,0 +1,56 @@
+// The firewall strawman (§3.1): stateless / stateful Match -> Action.
+//
+// Exists as the baseline policy abstraction. It can say "drop UDP to the
+// window actuator from off-LAN", but it cannot reference environmental or
+// cross-device context — which is exactly what bench F3's expressiveness
+// check demonstrates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/conn_track.h"
+#include "sdn/flow_table.h"
+
+namespace iotsec::policy {
+
+enum class MatchActionVerdict : std::uint8_t { kAllow, kDeny };
+
+struct MatchActionRule {
+  std::string name;
+  sdn::FlowMatch match;
+  MatchActionVerdict verdict = MatchActionVerdict::kDeny;
+  /// Stateful variant: when set, inbound packets matching `match` are
+  /// allowed anyway if they belong to a connection initiated from inside.
+  bool allow_established = false;
+};
+
+class MatchActionPolicy {
+ public:
+  void Add(MatchActionRule rule) { rules_.push_back(std::move(rule)); }
+  [[nodiscard]] const std::vector<MatchActionRule>& rules() const {
+    return rules_;
+  }
+
+  /// First-match verdict; default allow.
+  [[nodiscard]] MatchActionVerdict Evaluate(const proto::ParsedFrame& frame,
+                                            proto::ConnectionTracker* tracker,
+                                            SimTime now) const;
+
+ private:
+  std::vector<MatchActionRule> rules_;
+};
+
+/// Requirements checklist used by bench F3: which of the paper's scenario
+/// policies can each abstraction express?
+struct ExpressivenessRequirement {
+  std::string description;
+  bool match_action_can = false;
+  bool ifttt_can = false;
+  bool fsm_can = false;
+};
+
+std::vector<ExpressivenessRequirement> ScenarioRequirements();
+
+}  // namespace iotsec::policy

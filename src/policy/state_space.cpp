@@ -1,0 +1,59 @@
+#include "policy/state_space.h"
+
+#include <stdexcept>
+
+namespace iotsec::policy {
+
+std::size_t StateSpace::AddDimension(Dimension dim) {
+  if (dim.values.empty()) {
+    throw std::invalid_argument("dimension needs at least one value: " +
+                                dim.name);
+  }
+  if (by_name_.count(dim.name)) {
+    throw std::invalid_argument("duplicate dimension: " + dim.name);
+  }
+  const std::size_t idx = dims_.size();
+  by_name_[dim.name] = idx;
+  dims_.push_back(std::move(dim));
+  return idx;
+}
+
+std::optional<std::size_t> StateSpace::IndexOf(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+double StateSpace::TotalStates() const {
+  double total = 1.0;
+  for (const auto& d : dims_) total *= static_cast<double>(d.values.size());
+  return total;
+}
+
+SystemState StateSpace::InitialState() const {
+  SystemState s;
+  s.values.assign(dims_.size(), 0);
+  return s;
+}
+
+bool StateSpace::Assign(SystemState& state, const std::string& dim_name,
+                        const std::string& value) const {
+  const auto idx = IndexOf(dim_name);
+  if (!idx) return false;
+  const auto vidx = dims_[*idx].IndexOf(value);
+  if (!vidx) return false;
+  state.values[*idx] = *vidx;
+  return true;
+}
+
+std::string StateSpace::Describe(const SystemState& state) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out += ", ";
+    out += dims_[i].name + "=" + ValueOf(state, i);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace iotsec::policy

@@ -1,0 +1,119 @@
+#include "proto/dns.h"
+
+#include "common/strings.h"
+
+namespace iotsec::proto {
+namespace {
+
+bool WriteName(ByteWriter& w, const std::string& name) {
+  for (const auto& label : Split(name, '.')) {
+    if (label.empty() || label.size() > 63) return false;
+    w.U8(static_cast<std::uint8_t>(label.size()));
+    w.Str(label);
+  }
+  w.U8(0);
+  return true;
+}
+
+std::optional<std::string> ReadName(ByteReader& r) {
+  std::string name;
+  for (;;) {
+    const std::uint8_t len = r.U8();
+    if (!r.Ok()) return std::nullopt;
+    if (len == 0) break;
+    if (len > 63) return std::nullopt;  // no compression pointers in -lite
+    if (!name.empty()) name += '.';
+    name += r.Str(len);
+    if (!r.Ok()) return std::nullopt;
+  }
+  return name;
+}
+
+}  // namespace
+
+DnsRecord DnsRecord::MakeA(std::string name, net::Ipv4Address addr) {
+  DnsRecord rec;
+  rec.name = std::move(name);
+  rec.type = DnsType::kA;
+  ByteWriter w(rec.rdata);
+  w.U32(addr.value());
+  return rec;
+}
+
+DnsRecord DnsRecord::MakeTxt(std::string name, std::string text) {
+  DnsRecord rec;
+  rec.name = std::move(name);
+  rec.type = DnsType::kTxt;
+  rec.rdata = ToBytes(text);
+  return rec;
+}
+
+Bytes DnsMessage::Serialize() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.U16(id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  if (recursion_available) flags |= 0x0080;
+  w.U16(flags);
+  w.U16(static_cast<std::uint16_t>(questions.size()));
+  w.U16(static_cast<std::uint16_t>(answers.size()));
+  w.U16(0);  // NS count
+  w.U16(0);  // AR count
+  for (const auto& q : questions) {
+    if (!WriteName(w, q.name)) return {};
+    w.U16(static_cast<std::uint16_t>(q.type));
+    w.U16(1);  // class IN
+  }
+  for (const auto& a : answers) {
+    if (!WriteName(w, a.name)) return {};
+    w.U16(static_cast<std::uint16_t>(a.type));
+    w.U16(1);  // class IN
+    w.U32(a.ttl);
+    w.U16(static_cast<std::uint16_t>(a.rdata.size()));
+    w.Raw(a.rdata);
+  }
+  return out;
+}
+
+std::optional<DnsMessage> DnsMessage::Parse(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  DnsMessage msg;
+  msg.id = r.U16();
+  const std::uint16_t flags = r.U16();
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.recursion_available = (flags & 0x0080) != 0;
+  const std::uint16_t qd = r.U16();
+  const std::uint16_t an = r.U16();
+  r.U16();  // NS
+  r.U16();  // AR
+  if (!r.Ok()) return std::nullopt;
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    auto name = ReadName(r);
+    if (!name) return std::nullopt;
+    DnsQuestion q;
+    q.name = std::move(*name);
+    q.type = static_cast<DnsType>(r.U16());
+    r.U16();  // class
+    if (!r.Ok()) return std::nullopt;
+    msg.questions.push_back(std::move(q));
+  }
+  for (std::uint16_t i = 0; i < an; ++i) {
+    auto name = ReadName(r);
+    if (!name) return std::nullopt;
+    DnsRecord rec;
+    rec.name = std::move(*name);
+    rec.type = static_cast<DnsType>(r.U16());
+    r.U16();  // class
+    rec.ttl = r.U32();
+    const std::uint16_t rdlen = r.U16();
+    auto rd = r.Raw(rdlen);
+    if (!r.Ok()) return std::nullopt;
+    rec.rdata.assign(rd.begin(), rd.end());
+    msg.answers.push_back(std::move(rec));
+  }
+  return msg;
+}
+
+}  // namespace iotsec::proto

@@ -1,0 +1,53 @@
+// DNS-lite codec.
+//
+// Models the open-DNS-resolver vulnerability of the Belkin Wemo line
+// (Table 1, row 6): a small spoofed query yields a large response, which
+// attackers use for DDoS amplification. Supports queries/responses with
+// label-encoded names, A and TXT records.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/address.h"
+
+namespace iotsec::proto {
+
+inline constexpr std::uint16_t kDnsPort = 53;
+
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kTxt = 16,
+  kAny = 255,
+};
+
+struct DnsQuestion {
+  std::string name;
+  DnsType type = DnsType::kA;
+};
+
+struct DnsRecord {
+  std::string name;
+  DnsType type = DnsType::kA;
+  std::uint32_t ttl = 300;
+  Bytes rdata;
+
+  static DnsRecord MakeA(std::string name, net::Ipv4Address addr);
+  static DnsRecord MakeTxt(std::string name, std::string text);
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_available = false;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<DnsMessage> Parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace iotsec::proto

@@ -1,0 +1,27 @@
+#include "proto/ethernet.h"
+
+namespace iotsec::proto {
+
+void EthernetHeader::Serialize(ByteWriter& w) const {
+  w.Raw(dst.bytes());
+  w.Raw(src.bytes());
+  w.U16(static_cast<std::uint16_t>(ethertype));
+}
+
+std::optional<EthernetHeader> EthernetHeader::Parse(ByteReader& r) {
+  EthernetHeader h;
+  auto dst = r.Raw(6);
+  auto src = r.Raw(6);
+  const std::uint16_t type = r.U16();
+  if (!r.Ok()) return std::nullopt;
+  std::array<std::uint8_t, 6> d{};
+  std::array<std::uint8_t, 6> s{};
+  std::copy(dst.begin(), dst.end(), d.begin());
+  std::copy(src.begin(), src.end(), s.begin());
+  h.dst = net::MacAddress(d);
+  h.src = net::MacAddress(s);
+  h.ethertype = static_cast<EtherType>(type);
+  return h;
+}
+
+}  // namespace iotsec::proto

@@ -1,0 +1,29 @@
+// Ethernet II framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "net/address.h"
+
+namespace iotsec::proto {
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kTunnel = 0x88b5,  // locally assigned: IoTSec VXLAN-lite encapsulation
+};
+
+struct EthernetHeader {
+  net::MacAddress dst;
+  net::MacAddress src;
+  EtherType ethertype = EtherType::kIpv4;
+
+  static constexpr std::size_t kSize = 14;
+
+  void Serialize(ByteWriter& w) const;
+  static std::optional<EthernetHeader> Parse(ByteReader& r);
+};
+
+}  // namespace iotsec::proto

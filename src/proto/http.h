@@ -1,0 +1,59 @@
+// HTTP/1.1-lite codec.
+//
+// Models the management interfaces of IoT devices (camera admin UI,
+// set-top box, refrigerator) and is the protocol the password-proxy µmbox
+// (the paper's Figure 4 use case) interposes on. Supports request line,
+// status line, headers, body, and HTTP Basic authentication.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace iotsec::proto {
+
+using HttpHeaders = std::vector<std::pair<std::string, std::string>>;
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::string version = "HTTP/1.1";
+  HttpHeaders headers;
+  std::string body;
+
+  [[nodiscard]] std::optional<std::string> Header(std::string_view name) const;
+  void SetHeader(std::string_view name, std::string_view value);
+
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<HttpRequest> Parse(std::span<const std::uint8_t> data);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HttpHeaders headers;
+  std::string body;
+
+  [[nodiscard]] std::optional<std::string> Header(std::string_view name) const;
+  void SetHeader(std::string_view name, std::string_view value);
+
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<HttpResponse> Parse(std::span<const std::uint8_t> data);
+};
+
+/// Standard-alphabet base64 (used by HTTP Basic auth).
+std::string Base64Encode(std::string_view raw);
+std::optional<std::string> Base64Decode(std::string_view encoded);
+
+/// Builds an "Authorization: Basic ..." header value.
+std::string BasicAuthValue(std::string_view user, std::string_view password);
+
+/// Extracts (user, password) from a Basic auth header value.
+std::optional<std::pair<std::string, std::string>> ParseBasicAuth(
+    std::string_view header_value);
+
+}  // namespace iotsec::proto

@@ -1,0 +1,72 @@
+#include "proto/iotctl.h"
+
+namespace iotsec::proto {
+
+std::optional<std::string> IotCtlMessage::Find(IotTag tag) const {
+  for (const auto& tlv : tlvs) {
+    if (tlv.tag == tag) return tlv.value;
+  }
+  return std::nullopt;
+}
+
+void IotCtlMessage::Add(IotTag tag, std::string value) {
+  tlvs.push_back(IotTlv{tag, std::move(value)});
+}
+
+Bytes IotCtlMessage::Serialize() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.U16(kIotCtlMagic);
+  w.U8(1);  // version
+  w.U8(static_cast<std::uint8_t>(type));
+  w.U8(static_cast<std::uint8_t>(command));
+  w.U8(backdoor ? 0x01 : 0x00);
+  w.U16(seq);
+  for (const auto& tlv : tlvs) {
+    w.U8(static_cast<std::uint8_t>(tlv.tag));
+    w.U16(static_cast<std::uint16_t>(tlv.value.size()));
+    w.Str(tlv.value);
+  }
+  return out;
+}
+
+std::optional<IotCtlMessage> IotCtlMessage::Parse(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.U16() != kIotCtlMagic) return std::nullopt;
+  if (r.U8() != 1) return std::nullopt;
+  IotCtlMessage msg;
+  msg.type = static_cast<IotMsgType>(r.U8());
+  msg.command = static_cast<IotCommand>(r.U8());
+  msg.backdoor = (r.U8() & 0x01) != 0;
+  msg.seq = r.U16();
+  if (!r.Ok()) return std::nullopt;
+  while (r.Remaining() > 0) {
+    IotTlv tlv;
+    tlv.tag = static_cast<IotTag>(r.U8());
+    const std::uint16_t len = r.U16();
+    tlv.value = r.Str(len);
+    if (!r.Ok()) return std::nullopt;
+    msg.tlvs.push_back(std::move(tlv));
+  }
+  return msg;
+}
+
+std::string_view CommandName(IotCommand c) {
+  switch (c) {
+    case IotCommand::kNone: return "none";
+    case IotCommand::kTurnOn: return "turn_on";
+    case IotCommand::kTurnOff: return "turn_off";
+    case IotCommand::kOpen: return "open";
+    case IotCommand::kClose: return "close";
+    case IotCommand::kLock: return "lock";
+    case IotCommand::kUnlock: return "unlock";
+    case IotCommand::kSet: return "set";
+    case IotCommand::kStatus: return "status";
+    case IotCommand::kStream: return "stream";
+    case IotCommand::kReboot: return "reboot";
+  }
+  return "unknown";
+}
+
+}  // namespace iotsec::proto

@@ -1,0 +1,95 @@
+// IoTCtl: the TLV device-control protocol spoken by simulated IoT devices.
+//
+// Real deployments use a zoo of vendor protocols (UPnP/SOAP for Wemo,
+// proprietary TLS for NEST, ...). IoTCtl stands in for all of them with a
+// single compact binary format, so one codec serves every device model
+// while preserving what matters for security: commands, credentials, an
+// authentication bypass channel (the "backdoor" the paper's Figure 5
+// attacker uses), and event/telemetry reports.
+//
+// Wire format (big-endian):
+//   magic   u16 = 0x496f ("Io")
+//   version u8  = 1
+//   type    u8  (MsgType)
+//   command u8  (Command)
+//   flags   u8  (bit0: backdoor channel)
+//   seq     u16
+//   TLVs: { tag u8, len u16, value bytes }*
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace iotsec::proto {
+
+inline constexpr std::uint16_t kIotCtlPort = 5009;
+inline constexpr std::uint16_t kIotCtlMagic = 0x496f;
+
+enum class IotMsgType : std::uint8_t {
+  kCommand = 1,   // actuate / configure
+  kResponse = 2,  // result of a command
+  kQuery = 3,     // read state
+  kEvent = 4,     // unsolicited telemetry (sensor readings, alarms)
+};
+
+enum class IotCommand : std::uint8_t {
+  kNone = 0,
+  kTurnOn = 1,
+  kTurnOff = 2,
+  kOpen = 3,
+  kClose = 4,
+  kLock = 5,
+  kUnlock = 6,
+  kSet = 7,        // set a named parameter (args carry key/value)
+  kStatus = 8,     // report current state
+  kStream = 9,     // start media stream (camera)
+  kReboot = 10,
+};
+
+enum class IotTag : std::uint8_t {
+  kAuthToken = 1,   // credential string
+  kArgKey = 2,
+  kArgValue = 3,
+  kStateName = 4,   // state reported in responses/events
+  kStateValue = 5,
+  kResultCode = 6,  // "ok", "denied", "error"
+  kSensor = 7,      // sensor name for events
+  kReading = 8,     // sensor reading for events
+};
+
+struct IotTlv {
+  IotTag tag = IotTag::kAuthToken;
+  std::string value;
+};
+
+struct IotCtlMessage {
+  IotMsgType type = IotMsgType::kCommand;
+  IotCommand command = IotCommand::kNone;
+  bool backdoor = false;  // bypasses credential checks on vulnerable devices
+  std::uint16_t seq = 0;
+  std::vector<IotTlv> tlvs;
+
+  [[nodiscard]] std::optional<std::string> Find(IotTag tag) const;
+  void Add(IotTag tag, std::string value);
+
+  /// Convenience accessors for the common TLVs.
+  [[nodiscard]] std::optional<std::string> AuthToken() const {
+    return Find(IotTag::kAuthToken);
+  }
+  void SetAuthToken(std::string token) {
+    Add(IotTag::kAuthToken, std::move(token));
+  }
+
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<IotCtlMessage> Parse(
+      std::span<const std::uint8_t> data);
+};
+
+/// Human-readable command name (used in traces and signatures).
+std::string_view CommandName(IotCommand c);
+
+}  // namespace iotsec::proto

@@ -1,0 +1,43 @@
+#include "proto/ipv4.h"
+
+namespace iotsec::proto {
+
+void Ipv4Header::Serialize(ByteWriter& w) const {
+  Bytes hdr;
+  ByteWriter hw(hdr);
+  hw.U8(0x45);  // version 4, IHL 5
+  hw.U8(tos);
+  hw.U16(total_length);
+  hw.U16(id);
+  hw.U16(0);  // flags/fragment offset: never fragmented in the simulator
+  hw.U8(ttl);
+  hw.U8(static_cast<std::uint8_t>(protocol));
+  hw.U16(0);  // checksum placeholder
+  hw.U32(src.value());
+  hw.U32(dst.value());
+  const std::uint16_t csum = InternetChecksum(hdr);
+  hw.PatchU16(10, csum);
+  w.Raw(hdr);
+}
+
+std::optional<Ipv4Header> Ipv4Header::Parse(ByteReader& r) {
+  auto raw = r.Raw(kSize);
+  if (raw.size() != kSize) return std::nullopt;
+  if (InternetChecksum(raw) != 0) return std::nullopt;
+  ByteReader hr(raw);
+  const std::uint8_t ver_ihl = hr.U8();
+  if (ver_ihl != 0x45) return std::nullopt;
+  Ipv4Header h;
+  h.tos = hr.U8();
+  h.total_length = hr.U16();
+  h.id = hr.U16();
+  hr.U16();  // flags/frag
+  h.ttl = hr.U8();
+  h.protocol = static_cast<IpProto>(hr.U8());
+  hr.U16();  // checksum (already verified)
+  h.src = net::Ipv4Address(hr.U32());
+  h.dst = net::Ipv4Address(hr.U32());
+  return h;
+}
+
+}  // namespace iotsec::proto

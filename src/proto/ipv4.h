@@ -1,0 +1,37 @@
+// IPv4 header codec (no options), with RFC 1071 header checksum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "net/address.h"
+
+namespace iotsec::proto {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  // filled by Serialize callers
+  std::uint16_t id = 0;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kUdp;
+  net::Ipv4Address src;
+  net::Ipv4Address dst;
+
+  static constexpr std::size_t kSize = 20;
+
+  /// Serializes with a correct header checksum. `total_length` must already
+  /// include header + payload size.
+  void Serialize(ByteWriter& w) const;
+
+  /// Parses and verifies the checksum; nullopt if malformed or corrupt.
+  static std::optional<Ipv4Header> Parse(ByteReader& r);
+};
+
+}  // namespace iotsec::proto

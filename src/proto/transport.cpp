@@ -1,0 +1,51 @@
+#include "proto/transport.h"
+
+namespace iotsec::proto {
+
+void UdpHeader::Serialize(ByteWriter& w) const {
+  w.U16(src_port);
+  w.U16(dst_port);
+  w.U16(length);
+  w.U16(0);  // checksum optional in IPv4; the simulator leaves it zero
+}
+
+std::optional<UdpHeader> UdpHeader::Parse(ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.U16();
+  h.dst_port = r.U16();
+  h.length = r.U16();
+  r.U16();  // checksum
+  if (!r.Ok()) return std::nullopt;
+  if (h.length < kSize) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::Serialize(ByteWriter& w) const {
+  w.U16(src_port);
+  w.U16(dst_port);
+  w.U32(seq);
+  w.U32(ack);
+  w.U8(0x50);  // data offset 5 words, no options
+  w.U8(flags);
+  w.U16(0xffff);  // window (unused)
+  w.U16(0);       // checksum (unused in the simulator)
+  w.U16(0);       // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::Parse(ByteReader& r) {
+  TcpHeader h;
+  h.src_port = r.U16();
+  h.dst_port = r.U16();
+  h.seq = r.U32();
+  h.ack = r.U32();
+  const std::uint8_t offset = r.U8();
+  if ((offset >> 4) != 5) return std::nullopt;
+  h.flags = r.U8();
+  r.U16();  // window
+  r.U16();  // checksum
+  r.U16();  // urgent
+  if (!r.Ok()) return std::nullopt;
+  return h;
+}
+
+}  // namespace iotsec::proto

@@ -1,0 +1,55 @@
+// UDP and TCP header codecs.
+//
+// The simulator carries whole application messages in single segments, so
+// TCP options, windows and retransmission are out of scope; sequence
+// numbers and flags are real because the stateful firewall and the
+// connection tracker depend on them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace iotsec::proto {
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  static constexpr std::size_t kSize = 8;
+
+  void Serialize(ByteWriter& w) const;
+  static std::optional<UdpHeader> Parse(ByteReader& r);
+};
+
+/// TCP flag bits (subset actually used by the simulator).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+
+  static constexpr std::size_t kSize = 20;
+
+  [[nodiscard]] bool Syn() const { return flags & TcpFlags::kSyn; }
+  [[nodiscard]] bool Ack() const { return flags & TcpFlags::kAck; }
+  [[nodiscard]] bool Fin() const { return flags & TcpFlags::kFin; }
+  [[nodiscard]] bool Rst() const { return flags & TcpFlags::kRst; }
+  [[nodiscard]] bool Psh() const { return flags & TcpFlags::kPsh; }
+
+  void Serialize(ByteWriter& w) const;
+  static std::optional<TcpHeader> Parse(ByteReader& r);
+};
+
+}  // namespace iotsec::proto

@@ -1,0 +1,103 @@
+#include "sdn/flow_table.h"
+
+#include <algorithm>
+
+namespace iotsec::sdn {
+
+bool FlowMatch::Matches(const proto::ParsedFrame& frame,
+                        int in_port_idx) const {
+  if (in_port && *in_port != in_port_idx) return false;
+  if (eth_src && frame.eth.src != *eth_src) return false;
+  if (eth_dst && frame.eth.dst != *eth_dst) return false;
+  if (ethertype && frame.eth.ethertype != *ethertype) return false;
+  if (ip_src || ip_dst || ip_proto || l4_src || l4_dst) {
+    if (!frame.ip) return false;
+    if (ip_src && !ip_src->Contains(frame.ip->src)) return false;
+    if (ip_dst && !ip_dst->Contains(frame.ip->dst)) return false;
+    if (ip_proto && frame.ip->protocol != *ip_proto) return false;
+    if (l4_src && frame.SrcPort() != *l4_src) return false;
+    if (l4_dst && frame.DstPort() != *l4_dst) return false;
+  }
+  return true;
+}
+
+std::string FlowMatch::ToString() const {
+  std::string out = "{";
+  if (in_port) out += "in:" + std::to_string(*in_port) + " ";
+  if (eth_src) out += "esrc:" + eth_src->ToString() + " ";
+  if (eth_dst) out += "edst:" + eth_dst->ToString() + " ";
+  if (ip_src) out += "src:" + ip_src->ToString() + " ";
+  if (ip_dst) out += "dst:" + ip_dst->ToString() + " ";
+  if (l4_src) out += "sport:" + std::to_string(*l4_src) + " ";
+  if (l4_dst) out += "dport:" + std::to_string(*l4_dst) + " ";
+  out += "}";
+  return out;
+}
+
+FlowMatch FlowMatch::ToIp(net::Ipv4Address ip) {
+  FlowMatch m;
+  m.ip_dst = net::Ipv4Prefix(ip, 32);
+  return m;
+}
+
+FlowMatch FlowMatch::FromIp(net::Ipv4Address ip) {
+  FlowMatch m;
+  m.ip_src = net::Ipv4Prefix(ip, 32);
+  return m;
+}
+
+std::size_t FlowTable::Install(FlowEntry entry) {
+  const std::uint64_t seq = next_seq_++;
+  // Insert keeping (-priority, seq) order so Lookup is a linear scan that
+  // stops at the first hit.
+  auto it = entries_.begin();
+  auto sit = seqs_.begin();
+  while (it != entries_.end() && it->priority >= entry.priority) {
+    ++it;
+    ++sit;
+  }
+  entries_.insert(it, std::move(entry));
+  seqs_.insert(sit, seq);
+  return seq;
+}
+
+std::size_t FlowTable::RemoveByCookie(std::uint64_t cookie) {
+  std::size_t removed = 0;
+  for (std::size_t i = entries_.size(); i > 0; --i) {
+    if (entries_[i - 1].cookie == cookie) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+std::size_t FlowTable::RemoveOlderThan(std::uint64_t min_version) {
+  std::size_t removed = 0;
+  for (std::size_t i = entries_.size(); i > 0; --i) {
+    if (entries_[i - 1].version < min_version) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      seqs_.erase(seqs_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+const FlowEntry* FlowTable::Lookup(const proto::ParsedFrame& frame,
+                                   int in_port,
+                                   std::size_t frame_bytes) const {
+  for (const auto& entry : entries_) {
+    if (entry.match.Matches(frame, in_port)) {
+      if (frame_bytes > 0) {
+        ++entry.packets;
+        entry.bytes += frame_bytes;
+      }
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace iotsec::sdn

@@ -1,0 +1,113 @@
+// OpenFlow-like match/action flow tables.
+//
+// The IoTSec controller programs edge switches with these entries to steer
+// each device's traffic through its µmbox chain (Figure 2). Matching is
+// priority-ordered with wildcardable fields; actions cover forwarding,
+// flooding, dropping, tunneling to a µmbox, and punting to the controller.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/address.h"
+#include "proto/frame.h"
+
+namespace iotsec::sdn {
+
+struct FlowMatch {
+  std::optional<int> in_port;
+  std::optional<net::MacAddress> eth_src;
+  std::optional<net::MacAddress> eth_dst;
+  std::optional<proto::EtherType> ethertype;
+  std::optional<net::Ipv4Prefix> ip_src;
+  std::optional<net::Ipv4Prefix> ip_dst;
+  std::optional<proto::IpProto> ip_proto;
+  std::optional<std::uint16_t> l4_src;
+  std::optional<std::uint16_t> l4_dst;
+
+  [[nodiscard]] bool Matches(const proto::ParsedFrame& frame,
+                             int in_port_idx) const;
+  [[nodiscard]] std::string ToString() const;
+
+  /// Match everything (table-miss entry).
+  static FlowMatch Any() { return {}; }
+  /// All traffic to/from a device IP.
+  static FlowMatch ToIp(net::Ipv4Address ip);
+  static FlowMatch FromIp(net::Ipv4Address ip);
+};
+
+enum class ActionType : std::uint8_t {
+  kOutput,         // forward out a port
+  kFlood,          // all ports except ingress
+  kDrop,
+  kToController,   // PacketIn
+  kTunnelToUmbox,  // encapsulate and forward toward the µmbox cluster
+};
+
+struct FlowAction {
+  ActionType type = ActionType::kDrop;
+  int out_port = -1;     // kOutput / kTunnelToUmbox: port toward target
+  UmboxId umbox = 0;     // kTunnelToUmbox: VNI
+
+  static FlowAction Output(int port) {
+    return {ActionType::kOutput, port, 0};
+  }
+  static FlowAction Flood() { return {ActionType::kFlood, -1, 0}; }
+  static FlowAction Drop() { return {ActionType::kDrop, -1, 0}; }
+  static FlowAction ToController() {
+    return {ActionType::kToController, -1, 0};
+  }
+  static FlowAction Tunnel(UmboxId umbox, int port) {
+    return {ActionType::kTunnelToUmbox, port, umbox};
+  }
+};
+
+struct FlowEntry {
+  int priority = 0;
+  FlowMatch match;
+  std::vector<FlowAction> actions;
+  /// Policy-engine version that installed this entry; consistent updates
+  /// replace whole versions atomically (§5.1's consistency concern).
+  std::uint64_t version = 0;
+  std::uint64_t cookie = 0;  // opaque owner tag (e.g. device id)
+
+  // Runtime stats.
+  mutable std::uint64_t packets = 0;
+  mutable std::uint64_t bytes = 0;
+};
+
+class FlowTable {
+ public:
+  /// Installs an entry; returns its handle index (stable until removal).
+  std::size_t Install(FlowEntry entry);
+
+  /// Removes all entries with the given cookie. Returns count removed.
+  std::size_t RemoveByCookie(std::uint64_t cookie);
+
+  /// Removes every entry whose version is older than `min_version`
+  /// (two-phase consistent update: install new version, then sweep).
+  std::size_t RemoveOlderThan(std::uint64_t min_version);
+
+  void Clear() { entries_.clear(); }
+
+  /// Highest-priority matching entry (ties: earliest installed). Updates
+  /// the entry's counters when `frame_bytes` > 0.
+  [[nodiscard]] const FlowEntry* Lookup(const proto::ParsedFrame& frame,
+                                        int in_port,
+                                        std::size_t frame_bytes = 0) const;
+
+  [[nodiscard]] std::size_t Size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<FlowEntry>& Entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<FlowEntry> entries_;  // kept sorted by (-priority, seq)
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::uint64_t> seqs_;
+};
+
+}  // namespace iotsec::sdn

@@ -1,0 +1,175 @@
+#include "sig/aho_corasick.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace iotsec::sig {
+
+int AhoCorasick::AddPattern(std::string_view pattern, bool nocase) {
+  if (pattern.empty()) return -1;
+  std::string text(pattern);
+  if (nocase) {
+    for (char& c : text) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 32);
+    }
+    any_nocase_ = true;
+  }
+  patterns_.push_back(Pattern{std::move(text), nocase});
+  built_ = false;
+  return static_cast<int>(patterns_.size()) - 1;
+}
+
+void AhoCorasick::Build() {
+  nodes_.assign(1, Node{});
+  // Trie construction. For case-insensitive patterns we insert the folded
+  // text and fold input bytes during matching — but folding input would
+  // break case-sensitive patterns containing uppercase bytes. So when any
+  // nocase pattern exists, we insert case-sensitive patterns verbatim and
+  // nocase patterns in *both* paths implicitly by matching folded input
+  // against a dual-edge trie: each nocase byte adds edges for both cases.
+  for (std::size_t pid = 0; pid < patterns_.size(); ++pid) {
+    const Pattern& pat = patterns_[pid];
+    // Enumerate trie paths: for nocase patterns each alphabetic byte has
+    // two possible input bytes. We add edges for both at each step.
+    std::vector<std::int32_t> frontier{0};
+    for (unsigned char c : pat.text) {
+      std::vector<std::int32_t> next_frontier;
+      std::vector<unsigned char> variants;
+      variants.push_back(c);
+      if (pat.nocase && c >= 'a' && c <= 'z') {
+        variants.push_back(static_cast<unsigned char>(c - 32));
+      }
+      for (std::int32_t node : frontier) {
+        for (unsigned char v : variants) {
+          if (nodes_[node].next[v] < 0) {
+            nodes_[node].next[v] = static_cast<std::int32_t>(nodes_.size());
+            nodes_.emplace_back();
+          }
+          next_frontier.push_back(nodes_[node].next[v]);
+        }
+      }
+      // Deduplicate to keep the frontier small.
+      std::sort(next_frontier.begin(), next_frontier.end());
+      next_frontier.erase(
+          std::unique(next_frontier.begin(), next_frontier.end()),
+          next_frontier.end());
+      frontier = std::move(next_frontier);
+    }
+    for (std::int32_t node : frontier) {
+      nodes_[node].outputs.push_back(static_cast<int>(pid));
+    }
+  }
+
+  // BFS to set failure links and convert to a goto automaton.
+  std::deque<std::int32_t> queue;
+  for (int c = 0; c < 256; ++c) {
+    const std::int32_t v = nodes_[0].next[c];
+    if (v < 0) {
+      nodes_[0].next[c] = 0;
+    } else {
+      nodes_[v].fail = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const std::int32_t u = queue.front();
+    queue.pop_front();
+    // Merge outputs reachable through the failure link.
+    const auto& fail_out = nodes_[nodes_[u].fail].outputs;
+    nodes_[u].outputs.insert(nodes_[u].outputs.end(), fail_out.begin(),
+                             fail_out.end());
+    for (int c = 0; c < 256; ++c) {
+      const std::int32_t v = nodes_[u].next[c];
+      if (v < 0) {
+        nodes_[u].next[c] = nodes_[nodes_[u].fail].next[c];
+      } else {
+        nodes_[v].fail = nodes_[nodes_[u].fail].next[c];
+        queue.push_back(v);
+      }
+    }
+  }
+  built_ = true;
+}
+
+std::vector<AhoCorasick::Match> AhoCorasick::FindAll(
+    std::span<const std::uint8_t> data) const {
+  std::vector<Match> out;
+  std::int32_t state = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    state = nodes_[state].next[data[i]];
+    for (int pid : nodes_[state].outputs) {
+      out.push_back(Match{pid, i + 1});
+    }
+  }
+  return out;
+}
+
+std::size_t AhoCorasick::MarkMatches(std::span<const std::uint8_t> data,
+                                     std::vector<bool>& seen) const {
+  std::size_t hits = 0;
+  std::int32_t state = 0;
+  for (const std::uint8_t byte : data) {
+    state = nodes_[state].next[byte];
+    for (int pid : nodes_[state].outputs) {
+      if (!seen[static_cast<std::size_t>(pid)]) {
+        seen[static_cast<std::size_t>(pid)] = true;
+        ++hits;
+      }
+    }
+  }
+  return hits;
+}
+
+bool AhoCorasick::MatchesAny(std::span<const std::uint8_t> data) const {
+  std::int32_t state = 0;
+  for (const std::uint8_t byte : data) {
+    state = nodes_[state].next[byte];
+    if (!nodes_[state].outputs.empty()) return true;
+  }
+  return false;
+}
+
+int NaiveMatcher::AddPattern(std::string_view pattern, bool nocase) {
+  if (pattern.empty()) return -1;
+  patterns_.push_back(Pattern{std::string(pattern), nocase});
+  return static_cast<int>(patterns_.size()) - 1;
+}
+
+std::vector<AhoCorasick::Match> NaiveMatcher::FindAll(
+    std::span<const std::uint8_t> data) const {
+  auto eq = [](std::uint8_t a, std::uint8_t b, bool nocase) {
+    if (a == b) return true;
+    if (!nocase) return false;
+    auto fold = [](std::uint8_t c) -> std::uint8_t {
+      return (c >= 'A' && c <= 'Z') ? c + 32 : c;
+    };
+    return fold(a) == fold(b);
+  };
+  std::vector<AhoCorasick::Match> out;
+  for (std::size_t pid = 0; pid < patterns_.size(); ++pid) {
+    const auto& pat = patterns_[pid];
+    if (pat.text.size() > data.size()) continue;
+    for (std::size_t i = 0; i + pat.text.size() <= data.size(); ++i) {
+      bool ok = true;
+      for (std::size_t j = 0; j < pat.text.size(); ++j) {
+        if (!eq(data[i + j], static_cast<std::uint8_t>(pat.text[j]),
+                pat.nocase)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        out.push_back(AhoCorasick::Match{static_cast<int>(pid),
+                                         i + pat.text.size()});
+      }
+    }
+  }
+  // Order by end offset then id, matching AhoCorasick's emission order.
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.end_offset != b.end_offset) return a.end_offset < b.end_offset;
+    return a.pattern_id < b.pattern_id;
+  });
+  return out;
+}
+
+}  // namespace iotsec::sig

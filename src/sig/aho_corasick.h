@@ -1,0 +1,89 @@
+// Aho-Corasick multi-pattern matcher.
+//
+// The signature-matching µmbox element (the simulator's Snort stand-in)
+// must scan every payload against the full ruleset; Aho-Corasick makes the
+// scan cost independent of ruleset size (bench A2 quantifies this against
+// the naive per-pattern scan).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iotsec::sig {
+
+class AhoCorasick {
+ public:
+  /// Adds a pattern before Build(); returns its id. Empty patterns are
+  /// ignored (returns -1). `nocase` folds ASCII case during matching.
+  int AddPattern(std::string_view pattern, bool nocase = false);
+
+  /// Finalizes the automaton (computes failure/output links). Must be
+  /// called after the last AddPattern and before any matching.
+  void Build();
+
+  struct Match {
+    int pattern_id;
+    std::size_t end_offset;  // offset one past the pattern's last byte
+  };
+
+  /// Returns every pattern occurrence in `data`.
+  [[nodiscard]] std::vector<Match> FindAll(
+      std::span<const std::uint8_t> data) const;
+
+  /// Sets `seen[id] = true` for every pattern appearing in `data`;
+  /// allocation-free beyond the caller's bitmap. Returns hit count.
+  std::size_t MarkMatches(std::span<const std::uint8_t> data,
+                          std::vector<bool>& seen) const;
+
+  /// True if any pattern occurs.
+  [[nodiscard]] bool MatchesAny(std::span<const std::uint8_t> data) const;
+
+  [[nodiscard]] std::size_t PatternCount() const { return patterns_.size(); }
+  [[nodiscard]] bool Built() const { return built_; }
+
+ private:
+  struct Node {
+    std::array<std::int32_t, 256> next;
+    std::int32_t fail = 0;
+    std::vector<int> outputs;  // pattern ids ending at this node
+    Node() { next.fill(-1); }
+  };
+
+  struct Pattern {
+    std::string text;  // case-folded if nocase
+    bool nocase;
+  };
+
+  static std::uint8_t Fold(std::uint8_t c, bool nocase) {
+    if (nocase && c >= 'A' && c <= 'Z') return c + 32;
+    return c;
+  }
+
+  std::vector<Node> nodes_{1};
+  std::vector<Pattern> patterns_;
+  bool built_ = false;
+  bool any_nocase_ = false;
+};
+
+/// Reference implementation: scans each pattern independently (memmem
+/// style). Exists to cross-check AhoCorasick in property tests and as the
+/// baseline for bench A2.
+class NaiveMatcher {
+ public:
+  int AddPattern(std::string_view pattern, bool nocase = false);
+  [[nodiscard]] std::vector<AhoCorasick::Match> FindAll(
+      std::span<const std::uint8_t> data) const;
+
+ private:
+  struct Pattern {
+    std::string text;
+    bool nocase;
+  };
+  std::vector<Pattern> patterns_;
+};
+
+}  // namespace iotsec::sig

@@ -1,0 +1,57 @@
+// Compiled ruleset: the detection engine inside the SignatureMatcher
+// µmbox element.
+//
+// All content patterns across all rules share one Aho-Corasick automaton,
+// so per-packet cost is one payload scan plus per-candidate-rule predicate
+// checks — the same architecture real IDSes use.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sig/aho_corasick.h"
+#include "sig/rule.h"
+
+namespace iotsec::sig {
+
+struct RuleVerdict {
+  /// Highest-severity action across matched rules (kBlock > kAlert).
+  RuleAction action = RuleAction::kPass;
+  /// sids of every matched rule, in rule order.
+  std::vector<std::uint32_t> matched_sids;
+
+  [[nodiscard]] bool ShouldBlock() const {
+    return action == RuleAction::kBlock;
+  }
+  [[nodiscard]] bool Matched() const { return !matched_sids.empty(); }
+};
+
+class RuleSet {
+ public:
+  RuleSet() = default;
+  explicit RuleSet(std::vector<Rule> rules) { Reset(std::move(rules)); }
+
+  /// Replaces all rules and recompiles the automaton. µmboxes call this on
+  /// hot reconfiguration — it is the "frequent reconfigurations" cost the
+  /// paper worries about, measured in bench A1.
+  void Reset(std::vector<Rule> rules);
+
+  /// Adds one rule and recompiles.
+  void Add(Rule rule);
+
+  /// Evaluates every rule against a parsed frame.
+  [[nodiscard]] RuleVerdict Evaluate(const proto::ParsedFrame& frame) const;
+
+  [[nodiscard]] std::size_t RuleCount() const { return rules_.size(); }
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+
+ private:
+  void Compile();
+
+  std::vector<Rule> rules_;
+  AhoCorasick automaton_;
+  /// pattern id -> (rule index, content index) so matches can be credited.
+  std::vector<std::pair<std::size_t, std::size_t>> pattern_owner_;
+};
+
+}  // namespace iotsec::sig

@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+namespace iotsec::sim {
+
+void EventHandle::Cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::Pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Simulator::At(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{when, seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle Simulator::Every(SimDuration period, Callback fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  // The repeating closure reschedules itself unless the shared handle
+  // state says it was cancelled.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), state, tick]() {
+    if (state->cancelled) return;
+    fn();
+    if (state->cancelled || stopped_) return;
+    queue_.push(Event{now_ + period, seq_++, *tick, nullptr});
+  };
+  queue_.push(Event{now_ + period, seq_++, *tick, nullptr});
+  return EventHandle(std::move(state));
+}
+
+bool Simulator::PopAndFire() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  if (ev.state) {
+    if (ev.state->cancelled) return false;
+    ev.state->fired = true;
+  }
+  ev.fn();
+  ++processed_;
+  return true;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    PopAndFire();
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().when <= deadline) {
+    PopAndFire();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace iotsec::sim

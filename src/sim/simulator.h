@@ -1,0 +1,98 @@
+// Discrete-event simulation engine.
+//
+// Everything in IoTSec — links, devices, environment dynamics, controllers,
+// µmbox boot delays — runs on one virtual clock owned by a Simulator.
+// Events fire in (time, insertion-order) order, which makes runs fully
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace iotsec::sim {
+
+/// Handle for a scheduled event; lets the owner cancel it before it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Safe to call repeatedly.
+  void Cancel();
+
+  /// True if the event is still scheduled (not fired, not cancelled).
+  [[nodiscard]] bool Pending() const;
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (clamped to Now()).
+  EventHandle At(SimTime when, Callback fn);
+
+  /// Schedules `fn` `delay` after Now().
+  EventHandle After(SimDuration delay, Callback fn) {
+    return At(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` every `period`, starting one period from now, until the
+  /// returned handle is cancelled or the simulator stops.
+  EventHandle Every(SimDuration period, Callback fn);
+
+  /// Runs until the queue drains or Stop() is called.
+  void Run();
+
+  /// Runs events with time <= deadline; leaves later events queued and
+  /// advances the clock to the deadline.
+  void RunUntil(SimTime deadline);
+
+  /// Convenience: RunUntil(Now() + d).
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  /// Stops the run loop after the current event returns.
+  void Stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t EventsProcessed() const { return processed_; }
+  [[nodiscard]] std::size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndFire();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace iotsec::sim

@@ -1,0 +1,92 @@
+// Tests for the audit log, standalone and wired through the controller.
+#include <gtest/gtest.h>
+
+#include "control/audit.h"
+#include "core/iotsec.h"
+
+namespace iotsec::control {
+namespace {
+
+TEST(AuditLogTest, RecordQueryAndRing) {
+  AuditLog log(/*capacity=*/3);
+  log.Record(1, AuditCategory::kContext, "cam", "normal -> suspicious");
+  log.Record(2, AuditCategory::kAlert, "cam", "signature 1003");
+  log.Record(3, AuditCategory::kPosture, "wemo", "monitor -> quarantine");
+  log.Record(4, AuditCategory::kUmbox, "wemo", "launched umbox 2");
+
+  // Ring capacity: the oldest entry fell off.
+  EXPECT_EQ(log.Size(), 3u);
+  EXPECT_EQ(log.TotalRecorded(), 4u);
+  EXPECT_EQ(log.Entries().front().at, 2u);
+
+  EXPECT_EQ(log.For("wemo").size(), 2u);
+  EXPECT_EQ(log.For("cam").size(), 1u);
+  EXPECT_EQ(log.Of(AuditCategory::kPosture).size(), 1u);
+  const auto tail = log.Tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail.back().message, "launched umbox 2");
+}
+
+TEST(AuditLogTest, EntryFormatting) {
+  AuditEntry entry{5 * kMillisecond, AuditCategory::kFailure, "lock",
+                   "enforcement failed"};
+  const auto text = entry.ToString();
+  EXPECT_NE(text.find("5.000ms"), std::string::npos);
+  EXPECT_NE(text.find("failure"), std::string::npos);
+  EXPECT_NE(text.find("lock"), std::string::npos);
+}
+
+TEST(AuditIntegrationTest, ControllerRecordsTheIncidentTimeline) {
+  core::Deployment dep;
+  auto* wemo = dep.AddSmartPlug("wemo", "oven_power",
+                                {devices::Vulnerability::kBackdoor});
+  policy::StateSpace space = dep.BuildStateSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  policy::PolicyRule quarantine;
+  quarantine.name = "quarantine";
+  quarantine.when = policy::StatePredicate::Eq("ctx:wemo", "compromised");
+  quarantine.device = wemo->id();
+  quarantine.posture = core::QuarantinePosture();
+  quarantine.priority = 50;
+  policy.Add(quarantine);
+  dep.UsePolicy(std::move(space), std::move(policy));
+  dep.Start();
+  dep.RunFor(kSecond);
+
+  // Launch is on the record.
+  ASSERT_FALSE(dep.controller().audit().Of(AuditCategory::kUmbox).empty());
+
+  // Attack until compromise: alerts, escalations, posture change all land.
+  for (int i = 0; i < 4; ++i) {
+    dep.attacker().SendIotCommand(wemo->spec().ip, wemo->spec().mac,
+                                  proto::IotCommand::kTurnOn, std::nullopt,
+                                  true, nullptr);
+    dep.RunFor(kSecond);
+  }
+
+  const auto& audit = dep.controller().audit();
+  EXPECT_GE(audit.Of(AuditCategory::kAlert).size(), 3u);
+  const auto contexts = audit.Of(AuditCategory::kContext);
+  ASSERT_GE(contexts.size(), 2u);
+  EXPECT_NE(contexts.front().message.find("suspicious"), std::string::npos);
+  EXPECT_NE(contexts.back().message.find("compromised"), std::string::npos);
+
+  // The device's own timeline reads like an incident report, in order.
+  const auto timeline = audit.For("wemo");
+  ASSERT_GE(timeline.size(), 4u);
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_GE(timeline[i].at, timeline[i - 1].at);
+  }
+  bool saw_posture_change = false;
+  for (const auto& e : timeline) {
+    if (e.category == AuditCategory::kPosture &&
+        e.message.find("quarantine") != std::string::npos) {
+      saw_posture_change = true;
+    }
+  }
+  EXPECT_TRUE(saw_posture_change);
+}
+
+}  // namespace
+}  // namespace iotsec::control

@@ -1,0 +1,164 @@
+// Tests for the Delay (tar pit) and AuthGuard (brute-force lockout)
+// elements, unit-level and end-to-end against a real brute-force run.
+#include <gtest/gtest.h>
+
+#include "core/iotsec.h"
+
+namespace iotsec::dataplane {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+struct Rig {
+  sim::Simulator sim;
+  std::vector<net::PacketPtr> egress;
+  std::vector<Alert> alerts;
+  std::unique_ptr<MboxGraph> graph;
+
+  explicit Rig(std::string_view config) {
+    ElementContext ctx;
+    ctx.sim = &sim;
+    std::string error;
+    graph = MboxGraph::Build(config, ctx, &error);
+    EXPECT_NE(graph, nullptr) << error;
+    graph->SetEgress([this](net::PacketPtr p) { egress.push_back(std::move(p)); });
+    graph->SetAlertSink([this](Alert a) { alerts.push_back(std::move(a)); });
+  }
+};
+
+net::PacketPtr HttpReq(Ipv4Address src, Ipv4Address dst,
+                       const std::string& password) {
+  proto::HttpRequest req;
+  req.path = "/admin";
+  req.SetHeader("Authorization", proto::BasicAuthValue("admin", password));
+  proto::TcpHeader tcp;
+  tcp.src_port = 41000;
+  tcp.dst_port = 80;
+  tcp.flags = proto::TcpFlags::kPsh | proto::TcpFlags::kAck;
+  return net::MakePacket(proto::BuildTcpFrame(MacAddress::FromId(1),
+                                              MacAddress::FromId(2), src, dst,
+                                              tcp, req.Serialize()));
+}
+
+net::PacketPtr Http401(Ipv4Address device, Ipv4Address client) {
+  proto::HttpResponse resp;
+  resp.status = 401;
+  resp.reason = "Unauthorized";
+  proto::TcpHeader tcp;
+  tcp.src_port = 80;
+  tcp.dst_port = 41000;
+  tcp.flags = proto::TcpFlags::kPsh | proto::TcpFlags::kAck;
+  return net::MakePacket(proto::BuildTcpFrame(MacAddress::FromId(2),
+                                              MacAddress::FromId(1), device,
+                                              client, tcp, resp.Serialize()));
+}
+
+TEST(DelayTest, HoldsPacketsForConfiguredTime) {
+  Rig rig("d :: Delay(ms=250)\n");
+  rig.graph->Inject(HttpReq(Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2),
+                            "x"));
+  EXPECT_TRUE(rig.egress.empty());
+  rig.sim.RunFor(200 * kMillisecond);
+  EXPECT_TRUE(rig.egress.empty());
+  rig.sim.RunFor(100 * kMillisecond);
+  EXPECT_EQ(rig.egress.size(), 1u);
+}
+
+TEST(DelayTest, PreservesOrder) {
+  Rig rig("d :: Delay(ms=50)\n");
+  for (int i = 0; i < 5; ++i) {
+    rig.graph->Inject(HttpReq(Ipv4Address(1, 1, 1, 1),
+                              Ipv4Address(2, 2, 2, 2),
+                              "pw" + std::to_string(i)));
+    rig.sim.RunFor(10 * kMillisecond);
+  }
+  rig.sim.RunFor(kSecond);
+  ASSERT_EQ(rig.egress.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto frame = proto::ParseFrame(rig.egress[static_cast<std::size_t>(i)]->data());
+    auto req = proto::HttpRequest::Parse(frame->payload);
+    auto creds = proto::ParseBasicAuth(*req->Header("Authorization"));
+    EXPECT_EQ(creds->second, "pw" + std::to_string(i));
+  }
+}
+
+TEST(AuthGuardTest, LocksOutAfterRepeatedFailures) {
+  Rig rig("g :: AuthGuard(max_failures=3, window_ms=60000, "
+          "lockout_ms=600000)\n");
+  const Ipv4Address client(10, 0, 0, 200);
+  const Ipv4Address device(10, 0, 0, 5);
+
+  // Three failed rounds: requests forwarded, 401s observed.
+  for (int i = 0; i < 3; ++i) {
+    rig.graph->Inject(HttpReq(client, device, "wrong" + std::to_string(i)));
+    rig.graph->Inject(Http401(device, client));
+    rig.sim.RunFor(kSecond);
+  }
+  EXPECT_EQ(rig.egress.size(), 6u);
+  ASSERT_FALSE(rig.alerts.empty());
+  EXPECT_EQ(rig.alerts[0].kind, "auth");
+
+  // Fourth request (even with the right password): locked out.
+  rig.graph->Inject(HttpReq(client, device, "correct"));
+  EXPECT_EQ(rig.egress.size(), 6u);
+
+  // A different client is unaffected.
+  rig.graph->Inject(HttpReq(Ipv4Address(10, 0, 0, 77), device, "hello"));
+  EXPECT_EQ(rig.egress.size(), 7u);
+}
+
+TEST(AuthGuardTest, WindowResetForgivesSlowFailures) {
+  Rig rig("g :: AuthGuard(max_failures=3, window_ms=1000, "
+          "lockout_ms=600000)\n");
+  const Ipv4Address client(10, 0, 0, 200);
+  const Ipv4Address device(10, 0, 0, 5);
+  // Two failures per window, spaced past the window: never locks.
+  for (int i = 0; i < 6; ++i) {
+    rig.graph->Inject(Http401(device, client));
+    rig.sim.RunFor(2 * kSecond);
+  }
+  rig.graph->Inject(HttpReq(client, device, "pw"));
+  EXPECT_EQ(rig.egress.size(), 7u);
+  EXPECT_TRUE(rig.alerts.empty());
+}
+
+TEST(AuthGuardTest, EndToEndStopsBruteForce) {
+  // Full stack: camera with a weak-but-not-default password behind an
+  // AuthGuard posture. The 64-word brute force dies at the lockout.
+  core::Deployment dep;
+  auto* cam = dep.AddCamera("cam", {}, "summer2015");
+
+  policy::Posture posture;
+  posture.profile = "auth_guard";
+  posture.umbox_config =
+      "guard :: AuthGuard(max_failures=5, window_ms=60000, "
+      "lockout_ms=600000)\n"
+      "sig :: SignatureMatcher(rules=builtin)\n"
+      "guard -> sig\n";
+  policy::FsmPolicy policy;
+  policy.SetDefault(posture);
+  dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+  dep.Start();
+  dep.RunFor(kSecond);
+
+  std::vector<std::string> words;
+  for (int i = 0; i < 40; ++i) words.push_back("guess" + std::to_string(i));
+  words.push_back("summer2015");  // the real one, past the lockout point
+  std::optional<std::string> cracked;
+  bool done = false;
+  dep.attacker().BruteForceHttp(cam->spec().ip, cam->spec().mac, words,
+                                [&](std::optional<std::string> r) {
+                                  cracked = std::move(r);
+                                  done = true;
+                                });
+  dep.RunFor(2 * kMinute);
+  EXPECT_FALSE(cracked.has_value())
+      << "lockout must stop the list before the real password";
+  EXPECT_GT(dep.controller().stats().alerts, 0u);
+  (void)done;
+
+}
+
+}  // namespace
+}  // namespace iotsec::dataplane

@@ -1,0 +1,143 @@
+// Tests for the traditional-IT baselines.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "core/iotsec.h"
+
+namespace iotsec::baseline {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+class Collector final : public net::PacketSink {
+ public:
+  void Receive(net::PacketPtr pkt, int port) override {
+    (void)port;
+    packets.push_back(std::move(pkt));
+  }
+  std::vector<net::PacketPtr> packets;
+};
+
+struct GatewayRig {
+  sim::Simulator sim;
+  net::Link wan_link{sim, {}};
+  net::Link lan_link{sim, {}};
+  PerimeterGateway gw{sim};
+  Collector wan_side;
+  Collector lan_side;
+
+  GatewayRig() {
+    gw.ConnectWan(&wan_link, 1);
+    gw.ConnectLan(&lan_link, 0);
+    wan_link.Attach(0, &wan_side, 0);
+    lan_link.Attach(1, &lan_side, 0);
+  }
+
+  void FromWan(Bytes frame) {
+    wan_link.Send(0, net::MakePacket(std::move(frame)));
+  }
+  void FromLan(Bytes frame) {
+    lan_link.Send(1, net::MakePacket(std::move(frame)));
+  }
+};
+
+Bytes Udp(Ipv4Address src, Ipv4Address dst, std::uint16_t sport,
+          std::uint16_t dport, std::string_view payload) {
+  return proto::BuildUdpFrame(MacAddress::FromId(1), MacAddress::FromId(2),
+                              src, dst, sport, dport, ToBytes(payload));
+}
+
+TEST(PerimeterGatewayTest, DefaultDenyBlocksInboundAllowsReplies) {
+  GatewayRig rig;
+  policy::MatchActionPolicy fw;
+  policy::MatchActionRule deny;
+  deny.verdict = policy::MatchActionVerdict::kDeny;
+  deny.allow_established = true;
+  fw.Add(deny);
+  rig.gw.SetPolicy(std::move(fw));
+
+  const Ipv4Address inside(10, 0, 0, 5);
+  const Ipv4Address outside(203, 0, 113, 9);
+
+  // Unsolicited inbound: blocked.
+  rig.FromWan(Udp(outside, inside, 53, 5353, "unsolicited"));
+  rig.sim.Run();
+  EXPECT_TRUE(rig.lan_side.packets.empty());
+  EXPECT_EQ(rig.gw.stats().blocked, 1u);
+
+  // Outbound request then inbound reply: reply passes.
+  rig.FromLan(Udp(inside, outside, 5353, 53, "query"));
+  rig.sim.Run();
+  EXPECT_EQ(rig.wan_side.packets.size(), 1u);
+  rig.FromWan(Udp(outside, inside, 53, 5353, "answer"));
+  rig.sim.Run();
+  ASSERT_EQ(rig.lan_side.packets.size(), 1u);
+  auto frame = proto::ParseFrame(rig.lan_side.packets[0]->data());
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(ToString(frame->payload), "answer");
+}
+
+TEST(PerimeterGatewayTest, AllowRulePunchesHole) {
+  GatewayRig rig;
+  policy::MatchActionPolicy fw;
+  policy::MatchActionRule allow_dns;
+  allow_dns.match.l4_dst = 53;
+  allow_dns.verdict = policy::MatchActionVerdict::kAllow;
+  fw.Add(allow_dns);
+  policy::MatchActionRule deny;
+  deny.verdict = policy::MatchActionVerdict::kDeny;
+  fw.Add(deny);
+  rig.gw.SetPolicy(std::move(fw));
+
+  rig.FromWan(Udp(Ipv4Address(8, 8, 8, 8), Ipv4Address(10, 0, 0, 5), 999, 53,
+                  "dns in"));
+  rig.FromWan(Udp(Ipv4Address(8, 8, 8, 8), Ipv4Address(10, 0, 0, 5), 999, 80,
+                  "http in"));
+  rig.sim.Run();
+  EXPECT_EQ(rig.lan_side.packets.size(), 1u);
+  EXPECT_EQ(rig.gw.stats().blocked, 1u);
+}
+
+TEST(PerimeterGatewayTest, NoPolicyMeansAllowAll) {
+  GatewayRig rig;
+  rig.FromWan(Udp(Ipv4Address(1, 1, 1, 1), Ipv4Address(10, 0, 0, 5), 1, 2,
+                  "open season"));
+  rig.sim.Run();
+  EXPECT_EQ(rig.lan_side.packets.size(), 1u);
+}
+
+TEST(HostAntivirusTest, IoTFleetIsUninstallable) {
+  core::Deployment dep;
+  std::vector<devices::Device*> fleet = {
+      dep.AddCamera("cam", {devices::Vulnerability::kDefaultPassword}),
+      dep.AddSmartPlug("plug", "oven_power",
+                       {devices::Vulnerability::kBackdoor}),
+      dep.AddFireAlarm("protect"),
+  };
+  const auto report = HostAntivirus::Assess(fleet);
+  EXPECT_EQ(report.devices, 3u);
+  EXPECT_EQ(report.installable, 0u)
+      << "MCU-class devices cannot host a 128MB AV";
+  EXPECT_EQ(report.vulnerabilities, 2u);
+  EXPECT_EQ(report.mitigated, 0u);
+}
+
+TEST(HostAntivirusTest, EvenBeefyHostGainsNothing) {
+  // A hypothetical IoT device with server-class RAM: AV installs but the
+  // Table 1 flaw classes are design flaws, not infections.
+  core::Deployment dep;
+  auto spec = dep.MakeSpec("beefy", devices::DeviceClass::kCamera,
+                           {devices::Vulnerability::kDefaultPassword});
+  spec.ram_kb = 512 * 1024;
+  auto* cam = static_cast<devices::Camera*>(
+      dep.Attach(std::make_unique<devices::Camera>(spec, dep.sim(),
+                                                   &dep.environment())));
+  EXPECT_TRUE(HostAntivirus::Installable(*cam));
+  const auto report = HostAntivirus::Assess({cam});
+  EXPECT_EQ(report.installable, 1u);
+  EXPECT_EQ(report.mitigated, 0u);
+}
+
+}  // namespace
+}  // namespace iotsec::baseline

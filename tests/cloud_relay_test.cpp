@@ -1,0 +1,173 @@
+// The cloud-managed device model (§2.2's third management model) and the
+// perimeter-bypass it creates: a compromised vendor cloud delivers
+// commands as replies on the device's own keepalive flow, sailing through
+// a default-deny stateful perimeter. Only the device-side µmbox catches
+// it. Plus link-impairment tests.
+#include <gtest/gtest.h>
+
+#include "core/iotsec.h"
+
+namespace iotsec {
+namespace {
+
+struct CloudWorld {
+  core::Deployment dep;
+  devices::SmartPlug* wemo;
+
+  explicit CloudWorld(bool with_iotsec) : dep(Options(with_iotsec)) {
+    // The "vendor cloud" is the WAN attacker's address: the vendor got
+    // breached (or subpoenaed, or sold). It legitimately knows the
+    // device credential.
+    wemo = dep.AddSmartPlug("wemo", "oven_power");
+    if (with_iotsec) {
+      policy::FsmPolicy policy;
+      policy.SetDefault(core::ContextGatePosture(proto::IotCommand::kTurnOn,
+                                                 "env.occupancy", "on"));
+      dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+    }
+    dep.Start();
+    if (dep.gateway() != nullptr) {
+      policy::MatchActionPolicy fw;
+      policy::MatchActionRule deny;
+      deny.name = "default-deny";
+      deny.verdict = policy::MatchActionVerdict::kDeny;
+      deny.allow_established = true;
+      fw.Add(deny);
+      dep.gateway()->SetPolicy(std::move(fw));
+    }
+    // The device phones home every 2 seconds.
+    wemo->StartCloudKeepalive(dep.attacker().ip(), dep.attacker().mac(),
+                              2 * kSecond);
+    dep.RunFor(5 * kSecond);  // a few keepalives establish the flow
+  }
+
+  static core::DeploymentOptions Options(bool with_iotsec) {
+    core::DeploymentOptions opts;
+    opts.with_iotsec = with_iotsec;
+    opts.wan_attacker = true;  // the cloud lives beyond the perimeter
+    return opts;
+  }
+
+  /// The compromised cloud sends TurnOn as a reply on the keepalive flow,
+  /// with the device's real credential.
+  void CloudCommands() {
+    proto::IotCtlMessage cmd;
+    cmd.type = proto::IotMsgType::kCommand;
+    cmd.command = proto::IotCommand::kTurnOn;
+    cmd.seq = 9;
+    cmd.SetAuthToken(wemo->spec().credential);
+    dep.attacker().SendFrame(proto::BuildUdpFrame(
+        dep.attacker().mac(), wemo->spec().mac, dep.attacker().ip(),
+        wemo->spec().ip, proto::kIotCtlPort, devices::Device::kCloudPort,
+        cmd.Serialize()));
+    dep.RunFor(2 * kSecond);
+  }
+};
+
+TEST(CloudRelayTest, PerimeterPassesCloudCommands) {
+  // Current world + default-deny perimeter: the keepalive primes the
+  // gateway's connection tracker, so the malicious "reply" is admitted —
+  // the perimeter cannot tell a cloud command from cloud telemetry ACKs.
+  CloudWorld w(/*with_iotsec=*/false);
+  ASSERT_GT(w.dep.gateway()->stats().outbound, 0u) << "keepalives flowed";
+  w.CloudCommands();
+  EXPECT_EQ(w.wemo->State(), "on")
+      << "default-deny perimeter admits established-flow commands";
+}
+
+TEST(CloudRelayTest, PerimeterBlocksOffFlowCommands) {
+  // Sanity: the same command *not* on the keepalive flow dies at the
+  // gateway — the bypass is specifically the established-connection hole.
+  CloudWorld w(false);
+  proto::IotCtlMessage cmd;
+  cmd.type = proto::IotMsgType::kCommand;
+  cmd.command = proto::IotCommand::kTurnOn;
+  cmd.SetAuthToken(w.wemo->spec().credential);
+  w.dep.attacker().SendFrame(proto::BuildUdpFrame(
+      w.dep.attacker().mac(), w.wemo->spec().mac, w.dep.attacker().ip(),
+      w.wemo->spec().ip, 40001, proto::kIotCtlPort, cmd.Serialize()));
+  w.dep.RunFor(2 * kSecond);
+  EXPECT_EQ(w.wemo->State(), "off");
+  EXPECT_GT(w.dep.gateway()->stats().blocked, 0u);
+}
+
+TEST(CloudRelayTest, IoTSecGatesCloudCommandsOnContext) {
+  // With IoTSec the context gate sits on the *device's* traffic, so the
+  // delivery path (cloud flow or not) is irrelevant: nobody home, no ON.
+  CloudWorld w(/*with_iotsec=*/true);
+  w.CloudCommands();
+  EXPECT_EQ(w.wemo->State(), "off");
+
+  // Someone comes home: the same cloud command is now fine.
+  w.dep.environment().SetBool("occupancy", true, w.dep.sim().Now());
+  w.dep.RunFor(2 * kSecond);
+  w.CloudCommands();
+  EXPECT_EQ(w.wemo->State(), "on");
+}
+
+// -------------------------------------------------- link impairments
+
+TEST(LinkLossTest, LossRateDropsRoughlyProportionally) {
+  sim::Simulator sim;
+  net::LinkConfig cfg;
+  cfg.loss_rate = 0.25;
+  net::Link link(sim, cfg);
+  struct Sink final : net::PacketSink {
+    int received = 0;
+    void Receive(net::PacketPtr, int) override { ++received; }
+  } sink;
+  link.Attach(1, &sink, 0);
+  const int kPackets = 2000;
+  for (int i = 0; i < kPackets; ++i) {
+    link.Send(0, net::MakePacket(Bytes(64, 0)));
+    sim.RunFor(10 * kMillisecond);
+  }
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(sink.received) / kPackets, 0.75, 0.05);
+  EXPECT_EQ(sink.received + static_cast<int>(link.stats(0).lost), kPackets);
+}
+
+TEST(LinkLossTest, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    net::LinkConfig cfg;
+    cfg.loss_rate = 0.5;
+    cfg.loss_seed = seed;
+    net::Link link(sim, cfg);
+    struct Sink final : net::PacketSink {
+      std::vector<int> order;
+      void Receive(net::PacketPtr pkt, int) override {
+        order.push_back(static_cast<int>(pkt->size()));
+      }
+    } sink;
+    link.Attach(1, &sink, 0);
+    for (int i = 1; i <= 100; ++i) {
+      link.Send(0, net::MakePacket(Bytes(static_cast<std::size_t>(i), 0)));
+      sim.RunFor(10 * kMillisecond);
+    }
+    sim.Run();
+    return sink.order;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(LinkLossTest, ZeroLossByDefault) {
+  sim::Simulator sim;
+  net::Link link(sim, {});
+  struct Sink final : net::PacketSink {
+    int received = 0;
+    void Receive(net::PacketPtr, int) override { ++received; }
+  } sink;
+  link.Attach(1, &sink, 0);
+  for (int i = 0; i < 500; ++i) {
+    link.Send(0, net::MakePacket(Bytes(64, 0)));
+    sim.RunFor(kMillisecond);
+  }
+  sim.Run();
+  EXPECT_EQ(sink.received, 500);
+  EXPECT_EQ(link.stats(0).lost, 0u);
+}
+
+}  // namespace
+}  // namespace iotsec

@@ -1,0 +1,346 @@
+// Tests for device models, vulnerability semantics, the registry, and the
+// attacker primitives — exercised over real links and a real switch in
+// flood mode (no controller involved).
+#include <gtest/gtest.h>
+
+#include "devices/attacker.h"
+#include "devices/models.h"
+#include "devices/registry.h"
+#include "env/dynamics.h"
+#include "sdn/switch.h"
+
+namespace iotsec::devices {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+/// A tiny unmanaged LAN: flood switch + devices + attacker.
+struct Lan {
+  sim::Simulator sim;
+  std::unique_ptr<env::Environment> env = env::MakeSmartHomeEnvironment();
+  sdn::Switch sw{1, sim, sdn::Switch::MissBehavior::kFlood};
+  std::vector<std::unique_ptr<net::Link>> links;
+  DeviceRegistry registry;
+  std::unique_ptr<Attacker> attacker;
+  DeviceId next_id = 1;
+
+  Lan() {
+    env->AttachTo(sim);
+    attacker = std::make_unique<Attacker>(MacAddress::FromId(999),
+                                          Ipv4Address(10, 0, 0, 200), sim);
+    auto* link = NewLink();
+    attacker->ConnectUplink(link, 0);
+    sw.AttachLink(link, 1);
+  }
+
+  net::Link* NewLink() {
+    links.push_back(std::make_unique<net::Link>(sim, net::LinkConfig{}));
+    return links.back().get();
+  }
+
+  DeviceSpec Spec(const std::string& name, DeviceClass cls,
+                  std::set<Vulnerability> vulns = {},
+                  std::string credential = "secret") {
+    DeviceSpec spec;
+    spec.id = next_id++;
+    spec.name = name;
+    spec.cls = cls;
+    spec.mac = MacAddress::FromId(spec.id);
+    spec.ip = Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(10 + spec.id));
+    spec.vulns = std::move(vulns);
+    spec.credential = std::move(credential);
+    return spec;
+  }
+
+  template <typename T, typename... Args>
+  T* Add(DeviceSpec spec, Args&&... args) {
+    auto dev = std::make_unique<T>(std::move(spec), sim, env.get(),
+                                   std::forward<Args>(args)...);
+    T* ptr = dev.get();
+    registry.Add(std::move(dev));
+    auto* link = NewLink();
+    ptr->ConnectUplink(link, 0);
+    sw.AttachLink(link, 1);
+    ptr->Start();
+    return ptr;
+  }
+};
+
+TEST(DeviceAuthTest, CredentialChecks) {
+  Lan lan;
+  auto* plug = lan.Add<SmartPlug>(
+      lan.Spec("plug", DeviceClass::kSmartPlug), "oven_power");
+
+  proto::IotCtlMessage good;
+  good.command = proto::IotCommand::kTurnOn;
+  good.SetAuthToken("secret");
+  EXPECT_TRUE(plug->Actuate(proto::IotCommand::kStatus) == "ok");
+
+  // Network path: wrong token denied, right token accepted.
+  bool denied = false;
+  bool accepted = false;
+  lan.attacker->SendIotCommand(
+      plug->spec().ip, plug->spec().mac, proto::IotCommand::kTurnOn,
+      "wrong-token", false, [&](const proto::IotCtlMessage& resp) {
+        denied = resp.Find(proto::IotTag::kResultCode) == "denied";
+      });
+  lan.attacker->SendIotCommand(
+      plug->spec().ip, plug->spec().mac, proto::IotCommand::kTurnOn, "secret",
+      false, [&](const proto::IotCtlMessage& resp) {
+        accepted = resp.Find(proto::IotTag::kResultCode) == "ok";
+      });
+  lan.sim.RunFor(kSecond);
+  EXPECT_TRUE(denied);
+  EXPECT_TRUE(accepted);
+  EXPECT_EQ(plug->State(), "on");
+  EXPECT_TRUE(lan.env->GetBool("oven_power"));
+}
+
+TEST(DeviceAuthTest, BackdoorOnlyWorksWhenVulnerable) {
+  Lan lan;
+  auto* vulnerable = lan.Add<SmartPlug>(
+      lan.Spec("wemo", DeviceClass::kSmartPlug,
+               {Vulnerability::kBackdoor}),
+      "oven_power");
+  auto* solid = lan.Add<SmartPlug>(
+      lan.Spec("good-plug", DeviceClass::kSmartPlug), "bulb_on");
+
+  std::string vuln_result;
+  std::string solid_result;
+  lan.attacker->SendIotCommand(vulnerable->spec().ip, vulnerable->spec().mac,
+                               proto::IotCommand::kTurnOn, std::nullopt,
+                               /*backdoor=*/true,
+                               [&](const proto::IotCtlMessage& resp) {
+                                 vuln_result =
+                                     resp.Find(proto::IotTag::kResultCode)
+                                         .value_or("");
+                               });
+  lan.attacker->SendIotCommand(solid->spec().ip, solid->spec().mac,
+                               proto::IotCommand::kTurnOn, std::nullopt,
+                               /*backdoor=*/true,
+                               [&](const proto::IotCtlMessage& resp) {
+                                 solid_result =
+                                     resp.Find(proto::IotTag::kResultCode)
+                                         .value_or("");
+                               });
+  lan.sim.RunFor(kSecond);
+  EXPECT_EQ(vuln_result, "ok");
+  EXPECT_EQ(vulnerable->State(), "on");
+  EXPECT_EQ(solid_result, "denied");
+  EXPECT_EQ(solid->State(), "off");
+}
+
+TEST(DeviceAuthTest, NoCredentialsAcceptsAnything) {
+  Lan lan;
+  auto* light = lan.Add<TrafficLight>(lan.Spec(
+      "intersection-7", DeviceClass::kTrafficLight,
+      {Vulnerability::kNoCredentials}));
+  std::string result;
+  lan.attacker->SendIotCommand(
+      light->spec().ip, light->spec().mac, proto::IotCommand::kSet,
+      std::nullopt, false,
+      [&](const proto::IotCtlMessage& resp) {
+        result = resp.Find(proto::IotTag::kResultCode).value_or("");
+      },
+      {{proto::IotTag::kArgValue, "green"}});
+  lan.sim.RunFor(kSecond);
+  EXPECT_EQ(result, "ok");
+  EXPECT_EQ(light->State(), "green");
+}
+
+TEST(CameraTest, DefaultPasswordAdminAccess) {
+  Lan lan;
+  auto* cam = lan.Add<Camera>(lan.Spec("cam", DeviceClass::kCamera,
+                                       {Vulnerability::kDefaultPassword},
+                                       /*credential=*/"admin"));
+  (void)cam;
+  int status = 0;
+  lan.attacker->HttpGet(cam->spec().ip, cam->spec().mac, "/admin",
+                        std::make_pair(std::string("admin"),
+                                       std::string("admin")),
+                        [&](const proto::HttpResponse& resp) {
+                          status = resp.status;
+                        });
+  lan.sim.RunFor(kSecond);
+  EXPECT_EQ(status, 200) << "hardcoded admin/admin must open the console";
+
+  status = 0;
+  lan.attacker->HttpGet(cam->spec().ip, cam->spec().mac, "/admin",
+                        std::make_pair(std::string("admin"),
+                                       std::string("wrong")),
+                        [&](const proto::HttpResponse& resp) {
+                          status = resp.status;
+                        });
+  lan.sim.RunFor(kSecond);
+  EXPECT_EQ(status, 401);
+}
+
+TEST(CameraTest, FirmwareKeyExfiltrationOnlyWhenVulnerable) {
+  Lan lan;
+  auto* leaky = lan.Add<Camera>(lan.Spec("cctv", DeviceClass::kCamera,
+                                         {Vulnerability::kUnprotectedKeys}));
+  auto* solid = lan.Add<Camera>(lan.Spec("cam2", DeviceClass::kCamera));
+  std::string leaked;
+  int solid_status = 0;
+  lan.attacker->HttpGet(leaky->spec().ip, leaky->spec().mac, "/firmware",
+                        std::nullopt, [&](const proto::HttpResponse& resp) {
+                          leaked = resp.body;
+                        });
+  lan.attacker->HttpGet(solid->spec().ip, solid->spec().mac, "/firmware",
+                        std::nullopt, [&](const proto::HttpResponse& resp) {
+                          solid_status = resp.status;
+                        });
+  lan.sim.RunFor(kSecond);
+  EXPECT_NE(leaked.find("BEGIN RSA PRIVATE KEY"), std::string::npos);
+  EXPECT_EQ(solid_status, 403);
+}
+
+TEST(CameraTest, OccupancyDrivesPersonDetection) {
+  Lan lan;
+  auto* cam = lan.Add<Camera>(lan.Spec("cam", DeviceClass::kCamera));
+  EXPECT_EQ(cam->State(), "idle");
+  lan.env->SetBool("occupancy", true, lan.sim.Now());
+  EXPECT_EQ(cam->State(), "person_detected");
+  lan.env->SetBool("occupancy", false, lan.sim.Now());
+  EXPECT_EQ(cam->State(), "idle");
+}
+
+TEST(SmartPlugTest, OpenResolverAmplifies) {
+  Lan lan;
+  auto* wemo = lan.Add<SmartPlug>(
+      lan.Spec("wemo", DeviceClass::kSmartPlug,
+               {Vulnerability::kOpenDnsResolver}),
+      "oven_power");
+  // Victim hangs off the same switch.
+  VictimSink victim(MacAddress::FromId(777), Ipv4Address(10, 0, 0, 99));
+  auto* vlink = lan.NewLink();
+  victim.ConnectUplink(vlink, 0);
+  lan.sw.AttachLink(vlink, 1);
+
+  lan.attacker->DnsAmplify(wemo->spec().ip, wemo->spec().mac, victim.ip(),
+                           /*count=*/20);
+  lan.sim.RunFor(5 * kSecond);
+  EXPECT_GT(victim.FramesReceived(), 0u);
+  // Amplification: the victim receives far more bytes than the queries
+  // the attacker sent (each query ~90B, each ANY response >1KB).
+  EXPECT_GT(victim.BytesReceived(), 20u * 500u);
+}
+
+TEST(SmartPlugTest, NoResolverNoAmplification) {
+  Lan lan;
+  auto* plug = lan.Add<SmartPlug>(
+      lan.Spec("plain-plug", DeviceClass::kSmartPlug), "oven_power");
+  VictimSink victim(MacAddress::FromId(777), Ipv4Address(10, 0, 0, 99));
+  auto* vlink = lan.NewLink();
+  victim.ConnectUplink(vlink, 0);
+  lan.sw.AttachLink(vlink, 1);
+  lan.attacker->DnsAmplify(plug->spec().ip, plug->spec().mac, victim.ip(), 20);
+  lan.sim.RunFor(5 * kSecond);
+  EXPECT_EQ(victim.FramesReceived(), 0u);
+}
+
+TEST(AttackerTest, BruteForceFindsWeakPassword) {
+  Lan lan;
+  auto* cam = lan.Add<Camera>(lan.Spec("cam", DeviceClass::kCamera,
+                                       {Vulnerability::kDefaultPassword},
+                                       "1234"));
+  std::optional<std::string> cracked;
+  bool done = false;
+  lan.attacker->BruteForceHttp(
+      cam->spec().ip, cam->spec().mac,
+      {"password", "admin", "1234", "letmein"},
+      [&](std::optional<std::string> result) {
+        cracked = std::move(result);
+        done = true;
+      });
+  lan.sim.RunFor(10 * kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(cracked.has_value());
+  EXPECT_EQ(*cracked, "1234");
+  EXPECT_GT(cam->stats().auth_failures, 0u);
+}
+
+TEST(AttackerTest, BruteForceFailsAgainstStrongPassword) {
+  Lan lan;
+  auto* cam = lan.Add<Camera>(lan.Spec("cam", DeviceClass::kCamera, {},
+                                       "Xk99!long-random"));
+  std::optional<std::string> cracked = std::string("sentinel");
+  lan.attacker->BruteForceHttp(cam->spec().ip, cam->spec().mac,
+                               {"password", "admin", "1234"},
+                               [&](std::optional<std::string> result) {
+                                 cracked = std::move(result);
+                               });
+  lan.sim.RunFor(10 * kSecond);
+  EXPECT_FALSE(cracked.has_value());
+}
+
+TEST(SensorDevicesTest, FireAlarmAndThermostatReactToEnvironment) {
+  Lan lan;
+  auto* alarm = lan.Add<FireAlarm>(lan.Spec("protect", DeviceClass::kFireAlarm));
+  auto* thermo = lan.Add<Thermostat>(lan.Spec("nest", DeviceClass::kThermostat));
+  auto* oven = lan.Add<SmartOven>(lan.Spec("oven", DeviceClass::kSmartOven));
+
+  EXPECT_EQ(alarm->State(), "ok");
+  EXPECT_EQ(thermo->State(), "idle");
+  oven->Actuate(proto::IotCommand::kTurnOn);
+  lan.sim.RunFor(180 * kSecond);
+  EXPECT_EQ(alarm->State(), "alarm") << "oven heat must trip the fire alarm";
+  EXPECT_EQ(thermo->State(), "cooling");
+  EXPECT_TRUE(lan.env->GetBool("hvac_on"));
+}
+
+TEST(ScannerTest, LateralScanEmitsProbes) {
+  Lan lan;
+  auto* scanner = lan.Add<HandheldScanner>(
+      lan.Spec("scanner", DeviceClass::kHandheldScanner));
+  scanner->BeginLateralScan(
+      net::Ipv4Prefix(Ipv4Address(10, 0, 0, 0), 24),
+      MacAddress::Broadcast(), /*probes=*/25);
+  lan.sim.RunFor(10 * kSecond);
+  EXPECT_EQ(scanner->ProbesSent(), 25u);
+  EXPECT_EQ(scanner->State(), "compromised");
+}
+
+TEST(RefrigeratorTest, SpamBotEmitsSmtp) {
+  Lan lan;
+  auto* fridge = lan.Add<Refrigerator>(
+      lan.Spec("fridge", DeviceClass::kRefrigerator,
+               {Vulnerability::kExposedAccess}));
+  VictimSink relay(MacAddress::FromId(555), Ipv4Address(198, 51, 100, 25));
+  auto* rlink = lan.NewLink();
+  relay.ConnectUplink(rlink, 0);
+  lan.sw.AttachLink(rlink, 1);
+
+  fridge->BecomeSpamBot(relay.ip(), relay.mac(), 100 * kMillisecond);
+  lan.sim.RunFor(2 * kSecond);
+  EXPECT_GT(fridge->SpamSent(), 10u);
+  EXPECT_GT(relay.FramesReceived(), 10u);
+}
+
+TEST(RegistryTest, LookupsAndCensus) {
+  Lan lan;
+  lan.Add<Camera>(lan.Spec("cam1", DeviceClass::kCamera));
+  lan.Add<Camera>(lan.Spec("cam2", DeviceClass::kCamera));
+  auto* plug = lan.Add<SmartPlug>(lan.Spec("plug", DeviceClass::kSmartPlug),
+                                  "oven_power");
+
+  EXPECT_EQ(lan.registry.Count(), 3u);
+  EXPECT_EQ(lan.registry.ByName("cam2")->spec().name, "cam2");
+  EXPECT_EQ(lan.registry.ById(plug->id()), plug);
+  EXPECT_EQ(lan.registry.ByIp(plug->spec().ip), plug);
+  EXPECT_EQ(lan.registry.ByClass(DeviceClass::kCamera).size(), 2u);
+  EXPECT_EQ(lan.registry.ByName("ghost"), nullptr);
+  EXPECT_EQ(lan.registry.ById(424242), nullptr);
+}
+
+TEST(VulnerabilityTest, NamesAreStable) {
+  EXPECT_EQ(VulnerabilityName(Vulnerability::kDefaultPassword),
+            "default_password");
+  EXPECT_EQ(VulnerabilityName(Vulnerability::kOpenDnsResolver),
+            "open_dns_resolver");
+  EXPECT_EQ(DeviceClassName(DeviceClass::kSmartPlug), "smart_plug");
+}
+
+}  // namespace
+}  // namespace iotsec::devices

@@ -1,0 +1,181 @@
+// Tests for the physical environment simulator and its dynamics.
+#include <gtest/gtest.h>
+
+#include "env/dynamics.h"
+#include "sim/simulator.h"
+
+namespace iotsec::env {
+namespace {
+
+TEST(EnvironmentTest, DefineAndRead) {
+  Environment env;
+  env.Define(VarDef::Boolean("smoke"));
+  env.Define(VarDef::Continuous("temperature", 21.0, {10.0, 28.0},
+                                {"cold", "normal", "high"}));
+  EXPECT_TRUE(env.Has("smoke"));
+  EXPECT_FALSE(env.Has("humidity"));
+  EXPECT_DOUBLE_EQ(env.Value("temperature"), 21.0);
+  EXPECT_EQ(env.Level("temperature"), 1);
+  EXPECT_EQ(env.LevelName("temperature"), "normal");
+  EXPECT_FALSE(env.GetBool("smoke"));
+}
+
+TEST(EnvironmentTest, LevelTransitionsFireListeners) {
+  Environment env;
+  env.Define(VarDef::Continuous("temperature", 21.0, {28.0},
+                                {"normal", "high"}));
+  std::vector<LevelChange> changes;
+  env.Subscribe([&](const LevelChange& c) { changes.push_back(c); });
+
+  env.SetValue("temperature", 25.0, 100);  // same level: no event
+  EXPECT_TRUE(changes.empty());
+  env.SetValue("temperature", 30.0, 200);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].variable, "temperature");
+  EXPECT_EQ(changes[0].old_level, 0);
+  EXPECT_EQ(changes[0].new_level, 1);
+  EXPECT_EQ(changes[0].at, 200u);
+  env.SetValue("temperature", 20.0, 300);
+  EXPECT_EQ(changes.size(), 2u);
+}
+
+TEST(EnvironmentTest, UnsubscribeStopsDelivery) {
+  Environment env;
+  env.Define(VarDef::Boolean("x"));
+  int count = 0;
+  const int id = env.Subscribe([&](const LevelChange&) { ++count; });
+  env.SetBool("x", true, 1);
+  env.Unsubscribe(id);
+  env.SetBool("x", false, 2);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EnvironmentTest, UnknownVariableThrows) {
+  Environment env;
+  EXPECT_THROW((void)env.Value("nope"), std::out_of_range);
+  EXPECT_THROW(env.SetValue("nope", 1.0, 0), std::out_of_range);
+}
+
+TEST(EnvironmentTest, ResetToInitialRestoresEverything) {
+  Environment env;
+  env.Define(VarDef::Boolean("oven_power"));
+  env.Define(VarDef::Continuous("temperature", 21.0, {28.0},
+                                {"normal", "high"}));
+  env.SetBool("oven_power", true, 1);
+  env.SetValue("temperature", 99.0, 2);
+  env.ResetToInitial(3);
+  EXPECT_FALSE(env.GetBool("oven_power"));
+  EXPECT_DOUBLE_EQ(env.Value("temperature"), 21.0);
+}
+
+TEST(DynamicsTest, ThresholdInfluenceDrivesTarget) {
+  Environment env;
+  env.Define(VarDef::Boolean("oven_power"));
+  env.Define(VarDef::Continuous("temperature", 21.0, {45.0},
+                                {"normal", "high"}));
+  env.AddDynamics(
+      std::make_unique<ThresholdInfluence>("oven_power", 1, "temperature",
+                                           /*rate=*/1.0));
+  // Oven off: no effect.
+  env.Step(0, 10.0);
+  EXPECT_DOUBLE_EQ(env.Value("temperature"), 21.0);
+  // Oven on: +1 C/s.
+  env.SetBool("oven_power", true, 1);
+  env.Step(2, 10.0);
+  EXPECT_DOUBLE_EQ(env.Value("temperature"), 31.0);
+}
+
+TEST(DynamicsTest, HysteresisTriggerLatches) {
+  Environment env;
+  env.Define(VarDef::Continuous("temperature", 21.0, {45.0},
+                                {"normal", "high"}));
+  env.Define(VarDef::Boolean("smoke"));
+  env.AddDynamics(std::make_unique<HysteresisTrigger>("temperature", 60.0,
+                                                      40.0, "smoke"));
+  env.SetValue("temperature", 65.0, 1);
+  env.Step(2, 1.0);
+  EXPECT_TRUE(env.GetBool("smoke"));
+  // Still above the release threshold: stays latched.
+  env.SetValue("temperature", 50.0, 3);
+  env.Step(4, 1.0);
+  EXPECT_TRUE(env.GetBool("smoke"));
+  env.SetValue("temperature", 39.0, 5);
+  env.Step(6, 1.0);
+  EXPECT_FALSE(env.GetBool("smoke"));
+}
+
+TEST(DynamicsTest, GatedDecayOnlyWhenGateOpen) {
+  Environment env;
+  env.Define(VarDef::Boolean("window_open"));
+  env.Define(VarDef::Continuous("temperature", 30.0, {45.0},
+                                {"normal", "high"}));
+  env.AddDynamics(std::make_unique<GatedDecay>("window_open", 1,
+                                               "temperature", 12.0, 0.5));
+  env.Step(0, 1.0);
+  EXPECT_DOUBLE_EQ(env.Value("temperature"), 30.0);
+  env.SetBool("window_open", true, 1);
+  env.Step(2, 1.0);
+  EXPECT_LT(env.Value("temperature"), 30.0);
+  EXPECT_GT(env.Value("temperature"), 12.0);
+}
+
+TEST(DynamicsTest, ExponentialDecayConverges) {
+  Environment env;
+  env.Define(VarDef::Continuous("illuminance", 500.0, {120.0},
+                                {"dark", "bright"}));
+  env.AddDynamics(
+      std::make_unique<ExponentialDecay>("illuminance", 50.0, 0.5));
+  for (int i = 0; i < 100; ++i) env.Step(i, 1.0);
+  EXPECT_NEAR(env.Value("illuminance"), 50.0, 1.0);
+}
+
+TEST(SmartHomeEnvTest, OvenCausesSmokeViaTemperature) {
+  // The full §2.1 implicit-coupling chain: oven_power -> temperature ->
+  // smoke, using the canonical smart-home environment.
+  auto env = MakeSmartHomeEnvironment();
+  sim::Simulator sim;
+  env->AttachTo(sim, 500 * kMillisecond);
+
+  env->SetBool("oven_power", true, 0);
+  sim.RunFor(120 * kSecond);
+  EXPECT_GT(env->Value("temperature"), 60.0);
+  EXPECT_TRUE(env->GetBool("smoke")) << "sustained oven heat must trip smoke";
+
+  // Turning the oven off lets the room cool and the smoke clear.
+  env->SetBool("oven_power", false, sim.Now());
+  env->SetBool("window_open", true, sim.Now());
+  sim.RunFor(600 * kSecond);
+  EXPECT_FALSE(env->GetBool("smoke"));
+}
+
+TEST(SmartHomeEnvTest, BulbTripsLightSensorBand) {
+  auto env = MakeSmartHomeEnvironment();
+  sim::Simulator sim;
+  env->AttachTo(sim, 500 * kMillisecond);
+  EXPECT_EQ(env->LevelName("illuminance"), "dark");
+  env->SetBool("bulb_on", true, 0);
+  sim.RunFor(5 * kSecond);
+  EXPECT_EQ(env->LevelName("illuminance"), "bright");
+  env->SetBool("bulb_on", false, sim.Now());
+  sim.RunFor(60 * kSecond);
+  EXPECT_EQ(env->LevelName("illuminance"), "dark");
+}
+
+TEST(SmartHomeEnvTest, GroundTruthEdgesPresent) {
+  auto env = MakeSmartHomeEnvironment();
+  const auto edges = env->GroundTruthEdges();
+  auto has = [&](const std::string& a, const std::string& b) {
+    for (const auto& [x, y] : edges) {
+      if (x == a && y == b) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("oven_power", "temperature"));
+  EXPECT_TRUE(has("temperature", "smoke"));
+  EXPECT_TRUE(has("bulb_on", "illuminance"));
+  EXPECT_TRUE(has("window_open", "temperature"));
+  EXPECT_TRUE(has("hvac_on", "temperature"));
+}
+
+}  // namespace
+}  // namespace iotsec::env

@@ -1,0 +1,129 @@
+// Tests for the hub-mediated management model — including the skeleton-
+// key property of a compromised hub and IoTSec's answer to it.
+#include <gtest/gtest.h>
+
+#include "core/iotsec.h"
+#include "devices/hub.h"
+
+namespace iotsec::devices {
+namespace {
+
+struct HubWorld {
+  core::Deployment dep;
+  Hub* hub;
+  SmartPlug* plug;
+  SmartLock* lock;
+
+  explicit HubWorld(bool with_iotsec, bool hub_backdoored)
+      : dep(Options(with_iotsec)) {
+    auto hub_spec = dep.MakeSpec(
+        "hub", DeviceClass::kCamera,  // class unused; hub has its own type
+        hub_backdoored ? std::set<Vulnerability>{Vulnerability::kBackdoor}
+                       : std::set<Vulnerability>{},
+        "hub-secret");
+    hub = static_cast<Hub*>(dep.Attach(std::make_unique<Hub>(
+        hub_spec, dep.sim(), &dep.environment())));
+    plug = dep.AddSmartPlug("plug", "oven_power", {}, "plug-secret");
+    lock = dep.AddSmartLock("lock");
+    hub->Enroll(*plug);
+    hub->Enroll(*lock);
+  }
+
+  static core::DeploymentOptions Options(bool with_iotsec) {
+    core::DeploymentOptions opts;
+    opts.with_iotsec = with_iotsec;
+    return opts;
+  }
+
+  /// Asks the hub to relay `cmd` to `target`.
+  void Relay(const std::string& target, proto::IotCommand cmd,
+             std::optional<std::string> hub_token, bool backdoor,
+             std::string* result = nullptr) {
+    std::vector<proto::IotTlv> tlvs = {
+        {proto::IotTag::kArgKey, "target"},
+        {proto::IotTag::kArgValue, target}};
+    dep.attacker().SendIotCommand(
+        hub->spec().ip, hub->spec().mac, cmd, std::move(hub_token), backdoor,
+        [result](const proto::IotCtlMessage& resp) {
+          if (result != nullptr) {
+            *result = resp.Find(proto::IotTag::kResultCode).value_or("");
+          }
+        },
+        std::move(tlvs));
+    dep.RunFor(2 * kSecond);
+  }
+};
+
+TEST(HubTest, RelaysAuthorizedCommandsWithMemberCredentials) {
+  HubWorld w(/*with_iotsec=*/false, /*hub_backdoored=*/false);
+  w.dep.Start();
+  std::string result;
+  w.Relay("plug", proto::IotCommand::kTurnOn, "hub-secret", false, &result);
+  EXPECT_EQ(result, "ok");
+  EXPECT_EQ(w.plug->State(), "on");
+  EXPECT_EQ(w.hub->relay_stats().relayed, 1u);
+
+  // The member never saw the hub credential; it authenticated its own.
+  EXPECT_EQ(w.plug->stats().commands_denied, 0u);
+}
+
+TEST(HubTest, RejectsWrongHubCredential) {
+  HubWorld w(false, false);
+  w.dep.Start();
+  std::string result;
+  w.Relay("plug", proto::IotCommand::kTurnOn, "wrong", false, &result);
+  EXPECT_EQ(result, "denied");
+  EXPECT_EQ(w.plug->State(), "off");
+  EXPECT_EQ(w.hub->relay_stats().denied, 1u);
+}
+
+TEST(HubTest, UnknownTargetReported) {
+  HubWorld w(false, false);
+  w.dep.Start();
+  std::string result;
+  w.Relay("toaster", proto::IotCommand::kTurnOn, "hub-secret", false,
+          &result);
+  EXPECT_EQ(result, "unknown_target");
+  EXPECT_EQ(w.hub->relay_stats().unknown_target, 1u);
+}
+
+TEST(HubTest, CompromisedHubIsASkeletonKey) {
+  // Current world: the hub's backdoor gives the attacker every member
+  // device, even though each member has a strong unique credential.
+  HubWorld w(/*with_iotsec=*/false, /*hub_backdoored=*/true);
+  w.dep.Start();
+  std::string r1;
+  std::string r2;
+  w.Relay("plug", proto::IotCommand::kTurnOn, std::nullopt, true, &r1);
+  w.Relay("lock", proto::IotCommand::kUnlock, std::nullopt, true, &r2);
+  EXPECT_EQ(r1, "ok");
+  EXPECT_EQ(r2, "ok");
+  EXPECT_EQ(w.plug->State(), "on");
+  EXPECT_EQ(w.lock->State(), "unlocked")
+      << "the backdoored hub unlocks the front door";
+}
+
+TEST(HubTest, IoTSecChokesTheCompromisedHub) {
+  // With IoTSec, the hub's µmbox kills backdoor frames before they reach
+  // it, so the skeleton key never turns.
+  HubWorld w(/*with_iotsec=*/true, /*hub_backdoored=*/true);
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  w.dep.UsePolicy(w.dep.BuildStateSpace(), std::move(policy));
+  w.dep.Start();
+  w.dep.RunFor(kSecond);
+
+  w.Relay("lock", proto::IotCommand::kUnlock, std::nullopt, true);
+  EXPECT_EQ(w.lock->State(), "locked");
+  EXPECT_EQ(w.hub->relay_stats().relayed, 0u);
+  EXPECT_GT(w.dep.controller().stats().alerts, 0u);
+
+  // Legitimate hub use still works through the monitor posture.
+  std::string result;
+  w.Relay("plug", proto::IotCommand::kTurnOn, "hub-secret", false, &result);
+  EXPECT_EQ(result, "ok");
+  EXPECT_EQ(w.plug->State(), "on");
+}
+
+}  // namespace
+}  // namespace iotsec::devices

@@ -1,0 +1,316 @@
+// Tests for the FSM policy abstraction, state-space analysis (pruning,
+// conflicts, shadowing), and the two strawman abstractions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "policy/analysis.h"
+#include "policy/ifttt.h"
+#include "policy/match_action.h"
+
+namespace iotsec::policy {
+namespace {
+
+/// The paper's Figure 3 setting: fire alarm + window actuator, plus the
+/// smoke environment variable.
+struct Fig3 {
+  StateSpace space;
+  FsmPolicy policy;
+  static constexpr DeviceId kAlarm = 1;
+  static constexpr DeviceId kWindow = 2;
+
+  Fig3() {
+    space.AddDimension({"ctx:fire_alarm", DimensionKind::kDeviceContext,
+                        kAlarm, DefaultSecurityContexts()});
+    space.AddDimension({"dev:fire_alarm", DimensionKind::kDeviceState, kAlarm,
+                        {"ok", "alarm"}});
+    space.AddDimension({"ctx:window", DimensionKind::kDeviceContext, kWindow,
+                        DefaultSecurityContexts()});
+    space.AddDimension({"dev:window", DimensionKind::kDeviceState, kWindow,
+                        {"closed", "open"}});
+    space.AddDimension({"env:smoke", DimensionKind::kEnvVar, kInvalidDevice,
+                        {"off", "on"}});
+
+    Posture monitor;
+    monitor.profile = "monitor";
+    monitor.umbox_config = "sig :: SignatureMatcher(rules=builtin)\n";
+    policy.SetDefault(monitor);
+
+    // When the fire alarm's context is suspicious, block window "open".
+    PolicyRule block_open;
+    block_open.name = "fig3-block-open";
+    block_open.when = StatePredicate::Eq("ctx:fire_alarm", "suspicious");
+    block_open.device = kWindow;
+    block_open.posture.profile = "block_open";
+    block_open.posture.umbox_config = "d :: Discard()\n";
+    block_open.priority = 10;
+    policy.Add(block_open);
+
+    // A compromised window gets quarantined outright, regardless.
+    PolicyRule quarantine;
+    quarantine.name = "fig3-quarantine";
+    quarantine.when = StatePredicate::Eq("ctx:window", "compromised");
+    quarantine.device = kWindow;
+    quarantine.posture.profile = "quarantine";
+    quarantine.posture.umbox_config = "d :: Discard()\n";
+    quarantine.priority = 20;
+    policy.Add(quarantine);
+  }
+};
+
+TEST(StateSpaceTest, TotalStatesIsProduct) {
+  Fig3 f;
+  // 4 * 2 * 4 * 2 * 2 = 128
+  EXPECT_DOUBLE_EQ(f.space.TotalStates(), 128.0);
+  EXPECT_EQ(f.space.DimensionCount(), 5u);
+}
+
+TEST(StateSpaceTest, AssignAndDescribe) {
+  Fig3 f;
+  auto state = f.space.InitialState();
+  EXPECT_TRUE(f.space.Assign(state, "ctx:fire_alarm", "suspicious"));
+  EXPECT_TRUE(f.space.Assign(state, "env:smoke", "on"));
+  EXPECT_FALSE(f.space.Assign(state, "ctx:fire_alarm", "nonsense"));
+  EXPECT_FALSE(f.space.Assign(state, "no:dim", "x"));
+  const auto desc = f.space.Describe(state);
+  EXPECT_NE(desc.find("ctx:fire_alarm=suspicious"), std::string::npos);
+  EXPECT_NE(desc.find("env:smoke=on"), std::string::npos);
+}
+
+TEST(StateSpaceTest, DuplicateDimensionThrows) {
+  StateSpace space;
+  space.AddDimension({"x", DimensionKind::kEnvVar, kInvalidDevice, {"a"}});
+  EXPECT_THROW(space.AddDimension(
+                   {"x", DimensionKind::kEnvVar, kInvalidDevice, {"b"}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      space.AddDimension({"y", DimensionKind::kEnvVar, kInvalidDevice, {}}),
+      std::invalid_argument);
+}
+
+TEST(FsmPolicyTest, Figure3Scenario) {
+  Fig3 f;
+  auto state = f.space.InitialState();
+
+  // Everything normal: default posture.
+  EXPECT_EQ(f.policy.Evaluate(f.space, state, Fig3::kWindow).profile,
+            "monitor");
+
+  // Fire alarm backdoor accessed -> context suspicious -> block "open".
+  f.space.Assign(state, "ctx:fire_alarm", "suspicious");
+  EXPECT_EQ(f.policy.Evaluate(f.space, state, Fig3::kWindow).profile,
+            "block_open");
+  // The alarm itself keeps its default posture (no rule targets it).
+  EXPECT_EQ(f.policy.Evaluate(f.space, state, Fig3::kAlarm).profile,
+            "monitor");
+
+  // Higher-priority quarantine wins when both match.
+  f.space.Assign(state, "ctx:window", "compromised");
+  EXPECT_EQ(f.policy.Evaluate(f.space, state, Fig3::kWindow).profile,
+            "quarantine");
+}
+
+TEST(FsmPolicyTest, EvaluateAllCoversEveryDevice) {
+  Fig3 f;
+  auto state = f.space.InitialState();
+  f.space.Assign(state, "ctx:fire_alarm", "suspicious");
+  const auto postures =
+      f.policy.EvaluateAll(f.space, state, {Fig3::kAlarm, Fig3::kWindow});
+  EXPECT_EQ(postures.at(Fig3::kAlarm).profile, "monitor");
+  EXPECT_EQ(postures.at(Fig3::kWindow).profile, "block_open");
+}
+
+TEST(PredicateTest, OverlapAndSubsumption) {
+  Fig3 f;
+  auto p1 = StatePredicate::Eq("ctx:window", "compromised");
+  auto p2 = StatePredicate::Eq("ctx:window", "normal");
+  auto p3 = StatePredicate::Eq("env:smoke", "on");
+  EXPECT_FALSE(p1.Overlaps(p2, f.space));
+  EXPECT_TRUE(p1.Overlaps(p3, f.space));  // disjoint dims always overlap
+  EXPECT_TRUE(p1.Overlaps(p1, f.space));
+
+  // p1 && smoke=on is subsumed by p1.
+  auto narrow = StatePredicate::Eq("ctx:window", "compromised")
+                    .And("env:smoke", "on");
+  EXPECT_TRUE(narrow.IsSubsumedBy(p1, f.space));
+  EXPECT_FALSE(p1.IsSubsumedBy(narrow, f.space));
+  // Anything is subsumed by the empty predicate.
+  EXPECT_TRUE(p1.IsSubsumedBy(StatePredicate::Any(), f.space));
+  // Full-domain constraint subsumes like "any".
+  StatePredicate full;
+  full.AndIn("env:smoke", {"off", "on"});
+  EXPECT_TRUE(p3.IsSubsumedBy(full, f.space));
+}
+
+TEST(AnalysisTest, PruningCollapsesIndependentGroups) {
+  // Two independent houses: policies never reference across houses.
+  StateSpace space;
+  FsmPolicy policy;
+  std::vector<DeviceId> devices;
+  for (int house = 0; house < 2; ++house) {
+    for (int d = 0; d < 3; ++d) {
+      const DeviceId id = static_cast<DeviceId>(house * 10 + d);
+      devices.push_back(id);
+      const std::string ctx =
+          "ctx:h" + std::to_string(house) + "d" + std::to_string(d);
+      space.AddDimension({ctx, DimensionKind::kDeviceContext, id,
+                          DefaultSecurityContexts()});
+      PolicyRule rule;
+      rule.name = ctx + "-quarantine";
+      // Each rule reads the context of every device in the same house.
+      for (int other = 0; other < 3; ++other) {
+        rule.when.And("ctx:h" + std::to_string(house) + "d" +
+                          std::to_string(other),
+                      "compromised");
+      }
+      rule.device = id;
+      rule.posture.profile = "quarantine";
+      policy.Add(rule);
+    }
+  }
+  const auto analysis = AnalyzePolicy(policy, space, devices);
+  EXPECT_DOUBLE_EQ(analysis.raw_states, std::pow(4.0, 6));  // 4096
+  // Two independent groups of 3 context dims: 2 * 4^3 = 128.
+  EXPECT_DOUBLE_EQ(analysis.partitioned_states, 128.0);
+  EXPECT_EQ(analysis.partitions.size(), 2u);
+  // Each device's projection is its house: 4^3 = 64.
+  for (DeviceId d : devices) {
+    EXPECT_DOUBLE_EQ(analysis.projected_states.at(d), 64.0);
+    // Two reachable postures: default and quarantine.
+    EXPECT_EQ(analysis.distinct_postures.at(d), 2u);
+  }
+  EXPECT_TRUE(analysis.conflicts.empty());
+  EXPECT_TRUE(analysis.shadowed_rules.empty());
+}
+
+TEST(AnalysisTest, DetectsConflicts) {
+  Fig3 f;
+  // Add a same-priority overlapping rule demanding a different posture.
+  PolicyRule contradictory;
+  contradictory.name = "conflicting";
+  contradictory.when = StatePredicate::Eq("ctx:fire_alarm", "suspicious");
+  contradictory.device = Fig3::kWindow;
+  contradictory.posture.profile = "allow_everything";
+  contradictory.priority = 10;  // same as fig3-block-open
+  f.policy.Add(contradictory);
+
+  const auto analysis =
+      AnalyzePolicy(f.policy, f.space, {Fig3::kAlarm, Fig3::kWindow});
+  ASSERT_EQ(analysis.conflicts.size(), 1u);
+  EXPECT_NE(analysis.conflicts[0].reason.find("different postures"),
+            std::string::npos);
+}
+
+TEST(AnalysisTest, DetectsShadowedRules) {
+  Fig3 f;
+  // Narrower rule at lower priority than quarantine: never fires.
+  PolicyRule shadowed;
+  shadowed.name = "shadowed";
+  shadowed.when = StatePredicate::Eq("ctx:window", "compromised")
+                      .And("env:smoke", "on");
+  shadowed.device = Fig3::kWindow;
+  shadowed.posture.profile = "something_else";
+  shadowed.priority = 5;  // below quarantine's 20
+  f.policy.Add(shadowed);
+
+  const auto analysis =
+      AnalyzePolicy(f.policy, f.space, {Fig3::kAlarm, Fig3::kWindow});
+  ASSERT_EQ(analysis.shadowed_rules.size(), 1u);
+  EXPECT_EQ(f.policy.rules()[analysis.shadowed_rules[0]].name, "shadowed");
+}
+
+// --------------------------------------------------------------- IFTTT
+
+TEST(IftttTest, FireAndConflictDetection) {
+  IftttEngine engine;
+  engine.Add({"r1", {"smoke_alarm", "smoke"},
+              {"lights", proto::IotCommand::kTurnOn, ""}});
+  engine.Add({"r2", {"smoke_alarm", "smoke"},
+              {"lights", proto::IotCommand::kTurnOff, ""}});
+  engine.Add({"r3", {"presence", "away"},
+              {"lights", proto::IotCommand::kTurnOff, ""}});
+
+  const auto fired = engine.Fire("smoke_alarm", "smoke");
+  ASSERT_EQ(fired.size(), 2u) << "independent recipes both fire";
+  EXPECT_NE(fired[0].command, fired[1].command)
+      << "and they contradict each other — the §3.1 ambiguity";
+
+  const auto conflicts = engine.DetectConflicts();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].recipe_a, 0u);
+  EXPECT_EQ(conflicts[0].recipe_b, 1u);
+}
+
+TEST(IftttTest, PaperCorpusMatchesTable2Counts) {
+  IftttEngine engine;
+  for (auto& recipe : BuildPaperRecipeCorpus()) engine.Add(std::move(recipe));
+  const auto counts = engine.MentionCounts();
+  EXPECT_GE(counts.at("NEST Protect"), 188u);
+  EXPECT_GE(counts.at("WeMo Insight"), 227u);
+  EXPECT_GE(counts.at("Scout Alarm"), 63u);
+  EXPECT_EQ(engine.recipes().size(), 188u + 227u + 63u);
+  // Every recipe is a cross-device dependency edge.
+  EXPECT_EQ(engine.DependencyEdges().size(), engine.recipes().size());
+}
+
+TEST(IftttTest, CorpusIsDeterministic) {
+  const auto a = BuildPaperRecipeCorpus(2015);
+  const auto b = BuildPaperRecipeCorpus(2015);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].trigger.source, b[i].trigger.source);
+    EXPECT_EQ(a[i].action.target_device, b[i].action.target_device);
+  }
+}
+
+// --------------------------------------------------------- MatchAction
+
+TEST(MatchActionTest, FirstMatchWinsWithEstablishedBypass) {
+  MatchActionPolicy policy;
+  MatchActionRule deny_inbound;
+  deny_inbound.name = "deny-to-camera";
+  deny_inbound.match = sdn::FlowMatch::ToIp(net::Ipv4Address(10, 0, 0, 5));
+  deny_inbound.verdict = MatchActionVerdict::kDeny;
+  deny_inbound.allow_established = true;
+  policy.Add(deny_inbound);
+
+  proto::ConnectionTracker tracker;
+  // Unsolicited inbound: denied.
+  Bytes wire = proto::BuildUdpFrame(
+      net::MacAddress::FromId(1), net::MacAddress::FromId(2),
+      net::Ipv4Address(99, 9, 9, 9), net::Ipv4Address(10, 0, 0, 5), 1234,
+      5009, ToBytes("x"));
+  auto frame = *proto::ParseFrame(wire);
+  EXPECT_EQ(policy.Evaluate(frame, &tracker, 0), MatchActionVerdict::kDeny);
+
+  // After the camera talks out, the reply is admitted.
+  Bytes out_wire = proto::BuildUdpFrame(
+      net::MacAddress::FromId(2), net::MacAddress::FromId(1),
+      net::Ipv4Address(10, 0, 0, 5), net::Ipv4Address(99, 9, 9, 9), 5009,
+      1234, ToBytes("hello"));
+  tracker.Update(*proto::ParseFrame(out_wire), 0);
+  EXPECT_EQ(policy.Evaluate(frame, &tracker, kMillisecond),
+            MatchActionVerdict::kAllow);
+}
+
+TEST(MatchActionTest, ExpressivenessChecklist) {
+  const auto reqs = ScenarioRequirements();
+  ASSERT_FALSE(reqs.empty());
+  std::size_t ma = 0;
+  std::size_t ifttt = 0;
+  std::size_t fsm = 0;
+  for (const auto& r : reqs) {
+    if (r.match_action_can) ++ma;
+    if (r.ifttt_can) ++ifttt;
+    if (r.fsm_can) ++fsm;
+  }
+  // The §3 claim: the FSM abstraction expresses everything, each strawman
+  // only a strict subset.
+  EXPECT_EQ(fsm, reqs.size());
+  EXPECT_LT(ma, reqs.size());
+  EXPECT_LT(ifttt, reqs.size());
+}
+
+}  // namespace
+}  // namespace iotsec::policy
