@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_crowd.dir/bench_ablation_crowd.cpp.o"
+  "CMakeFiles/bench_ablation_crowd.dir/bench_ablation_crowd.cpp.o.d"
+  "bench_ablation_crowd"
+  "bench_ablation_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fuzzer.dir/bench_ablation_fuzzer.cpp.o"
+  "CMakeFiles/bench_ablation_fuzzer.dir/bench_ablation_fuzzer.cpp.o.d"
+  "bench_ablation_fuzzer"
+  "bench_ablation_fuzzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fuzzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

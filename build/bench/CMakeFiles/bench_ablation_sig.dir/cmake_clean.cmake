@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sig.dir/bench_ablation_sig.cpp.o"
+  "CMakeFiles/bench_ablation_sig.dir/bench_ablation_sig.cpp.o.d"
+  "bench_ablation_sig"
+  "bench_ablation_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

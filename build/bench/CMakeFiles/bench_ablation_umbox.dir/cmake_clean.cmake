@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_umbox.dir/bench_ablation_umbox.cpp.o"
+  "CMakeFiles/bench_ablation_umbox.dir/bench_ablation_umbox.cpp.o.d"
+  "bench_ablation_umbox"
+  "bench_ablation_umbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_umbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_defense_matrix.dir/bench_fig1_defense_matrix.cpp.o"
+  "CMakeFiles/bench_fig1_defense_matrix.dir/bench_fig1_defense_matrix.cpp.o.d"
+  "bench_fig1_defense_matrix"
+  "bench_fig1_defense_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_defense_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_password_gateway.dir/bench_fig4_password_gateway.cpp.o"
+  "CMakeFiles/bench_fig4_password_gateway.dir/bench_fig4_password_gateway.cpp.o.d"
+  "bench_fig4_password_gateway"
+  "bench_fig4_password_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_password_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

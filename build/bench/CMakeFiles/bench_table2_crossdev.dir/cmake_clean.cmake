@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_crossdev.dir/bench_table2_crossdev.cpp.o"
+  "CMakeFiles/bench_table2_crossdev.dir/bench_table2_crossdev.cpp.o.d"
+  "bench_table2_crossdev"
+  "bench_table2_crossdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_crossdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_enterprise_fleet.dir/enterprise_fleet.cpp.o"
+  "CMakeFiles/example_enterprise_fleet.dir/enterprise_fleet.cpp.o.d"
+  "example_enterprise_fleet"
+  "example_enterprise_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_enterprise_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

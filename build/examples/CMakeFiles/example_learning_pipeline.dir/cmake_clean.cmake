@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_learning_pipeline.dir/learning_pipeline.cpp.o"
+  "CMakeFiles/example_learning_pipeline.dir/learning_pipeline.cpp.o.d"
+  "example_learning_pipeline"
+  "example_learning_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_learning_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_authoring.dir/policy_authoring.cpp.o"
+  "CMakeFiles/example_policy_authoring.dir/policy_authoring.cpp.o.d"
+  "example_policy_authoring"
+  "example_policy_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

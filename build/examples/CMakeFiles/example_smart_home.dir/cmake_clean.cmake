@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_smart_home.dir/smart_home.cpp.o"
+  "CMakeFiles/example_smart_home.dir/smart_home.cpp.o.d"
+  "example_smart_home"
+  "example_smart_home.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smart_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baseline.cpp" "src/CMakeFiles/iotsec.dir/baseline/baseline.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/baseline/baseline.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/iotsec.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/iotsec.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/iotsec.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/iotsec.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/CMakeFiles/iotsec.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/common/types.cpp.o.d"
+  "/root/repo/src/control/audit.cpp" "src/CMakeFiles/iotsec.dir/control/audit.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/control/audit.cpp.o.d"
+  "/root/repo/src/control/controller.cpp" "src/CMakeFiles/iotsec.dir/control/controller.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/control/controller.cpp.o.d"
+  "/root/repo/src/control/hierarchy.cpp" "src/CMakeFiles/iotsec.dir/control/hierarchy.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/control/hierarchy.cpp.o.d"
+  "/root/repo/src/control/view.cpp" "src/CMakeFiles/iotsec.dir/control/view.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/control/view.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/CMakeFiles/iotsec.dir/core/deployment.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/core/deployment.cpp.o.d"
+  "/root/repo/src/core/postures.cpp" "src/CMakeFiles/iotsec.dir/core/postures.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/core/postures.cpp.o.d"
+  "/root/repo/src/dataplane/cluster.cpp" "src/CMakeFiles/iotsec.dir/dataplane/cluster.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/dataplane/cluster.cpp.o.d"
+  "/root/repo/src/dataplane/element.cpp" "src/CMakeFiles/iotsec.dir/dataplane/element.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/dataplane/element.cpp.o.d"
+  "/root/repo/src/dataplane/element_factory.cpp" "src/CMakeFiles/iotsec.dir/dataplane/element_factory.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/dataplane/element_factory.cpp.o.d"
+  "/root/repo/src/dataplane/elements_basic.cpp" "src/CMakeFiles/iotsec.dir/dataplane/elements_basic.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/dataplane/elements_basic.cpp.o.d"
+  "/root/repo/src/dataplane/elements_security.cpp" "src/CMakeFiles/iotsec.dir/dataplane/elements_security.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/dataplane/elements_security.cpp.o.d"
+  "/root/repo/src/dataplane/graph.cpp" "src/CMakeFiles/iotsec.dir/dataplane/graph.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/dataplane/graph.cpp.o.d"
+  "/root/repo/src/dataplane/umbox.cpp" "src/CMakeFiles/iotsec.dir/dataplane/umbox.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/dataplane/umbox.cpp.o.d"
+  "/root/repo/src/devices/attacker.cpp" "src/CMakeFiles/iotsec.dir/devices/attacker.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/devices/attacker.cpp.o.d"
+  "/root/repo/src/devices/device.cpp" "src/CMakeFiles/iotsec.dir/devices/device.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/devices/device.cpp.o.d"
+  "/root/repo/src/devices/hub.cpp" "src/CMakeFiles/iotsec.dir/devices/hub.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/devices/hub.cpp.o.d"
+  "/root/repo/src/devices/models.cpp" "src/CMakeFiles/iotsec.dir/devices/models.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/devices/models.cpp.o.d"
+  "/root/repo/src/devices/registry.cpp" "src/CMakeFiles/iotsec.dir/devices/registry.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/devices/registry.cpp.o.d"
+  "/root/repo/src/env/dynamics.cpp" "src/CMakeFiles/iotsec.dir/env/dynamics.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/env/dynamics.cpp.o.d"
+  "/root/repo/src/env/environment.cpp" "src/CMakeFiles/iotsec.dir/env/environment.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/env/environment.cpp.o.d"
+  "/root/repo/src/learn/attack_graph.cpp" "src/CMakeFiles/iotsec.dir/learn/attack_graph.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/learn/attack_graph.cpp.o.d"
+  "/root/repo/src/learn/crowd.cpp" "src/CMakeFiles/iotsec.dir/learn/crowd.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/learn/crowd.cpp.o.d"
+  "/root/repo/src/learn/fuzzer.cpp" "src/CMakeFiles/iotsec.dir/learn/fuzzer.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/learn/fuzzer.cpp.o.d"
+  "/root/repo/src/learn/model_library.cpp" "src/CMakeFiles/iotsec.dir/learn/model_library.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/learn/model_library.cpp.o.d"
+  "/root/repo/src/learn/synthesis.cpp" "src/CMakeFiles/iotsec.dir/learn/synthesis.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/learn/synthesis.cpp.o.d"
+  "/root/repo/src/net/address.cpp" "src/CMakeFiles/iotsec.dir/net/address.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/net/address.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/iotsec.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/net/link.cpp.o.d"
+  "/root/repo/src/policy/analysis.cpp" "src/CMakeFiles/iotsec.dir/policy/analysis.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/policy/analysis.cpp.o.d"
+  "/root/repo/src/policy/dsl.cpp" "src/CMakeFiles/iotsec.dir/policy/dsl.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/policy/dsl.cpp.o.d"
+  "/root/repo/src/policy/fsm_policy.cpp" "src/CMakeFiles/iotsec.dir/policy/fsm_policy.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/policy/fsm_policy.cpp.o.d"
+  "/root/repo/src/policy/ifttt.cpp" "src/CMakeFiles/iotsec.dir/policy/ifttt.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/policy/ifttt.cpp.o.d"
+  "/root/repo/src/policy/match_action.cpp" "src/CMakeFiles/iotsec.dir/policy/match_action.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/policy/match_action.cpp.o.d"
+  "/root/repo/src/policy/state_space.cpp" "src/CMakeFiles/iotsec.dir/policy/state_space.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/policy/state_space.cpp.o.d"
+  "/root/repo/src/proto/conn_track.cpp" "src/CMakeFiles/iotsec.dir/proto/conn_track.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/proto/conn_track.cpp.o.d"
+  "/root/repo/src/proto/dns.cpp" "src/CMakeFiles/iotsec.dir/proto/dns.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/proto/dns.cpp.o.d"
+  "/root/repo/src/proto/ethernet.cpp" "src/CMakeFiles/iotsec.dir/proto/ethernet.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/proto/ethernet.cpp.o.d"
+  "/root/repo/src/proto/frame.cpp" "src/CMakeFiles/iotsec.dir/proto/frame.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/proto/frame.cpp.o.d"
+  "/root/repo/src/proto/http.cpp" "src/CMakeFiles/iotsec.dir/proto/http.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/proto/http.cpp.o.d"
+  "/root/repo/src/proto/iotctl.cpp" "src/CMakeFiles/iotsec.dir/proto/iotctl.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/proto/iotctl.cpp.o.d"
+  "/root/repo/src/proto/ipv4.cpp" "src/CMakeFiles/iotsec.dir/proto/ipv4.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/proto/ipv4.cpp.o.d"
+  "/root/repo/src/proto/transport.cpp" "src/CMakeFiles/iotsec.dir/proto/transport.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/proto/transport.cpp.o.d"
+  "/root/repo/src/proto/tunnel.cpp" "src/CMakeFiles/iotsec.dir/proto/tunnel.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/proto/tunnel.cpp.o.d"
+  "/root/repo/src/scan/scanner.cpp" "src/CMakeFiles/iotsec.dir/scan/scanner.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/scan/scanner.cpp.o.d"
+  "/root/repo/src/sdn/flow_table.cpp" "src/CMakeFiles/iotsec.dir/sdn/flow_table.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/sdn/flow_table.cpp.o.d"
+  "/root/repo/src/sdn/switch.cpp" "src/CMakeFiles/iotsec.dir/sdn/switch.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/sdn/switch.cpp.o.d"
+  "/root/repo/src/sig/aho_corasick.cpp" "src/CMakeFiles/iotsec.dir/sig/aho_corasick.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/sig/aho_corasick.cpp.o.d"
+  "/root/repo/src/sig/corpus.cpp" "src/CMakeFiles/iotsec.dir/sig/corpus.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/sig/corpus.cpp.o.d"
+  "/root/repo/src/sig/rule.cpp" "src/CMakeFiles/iotsec.dir/sig/rule.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/sig/rule.cpp.o.d"
+  "/root/repo/src/sig/ruleset.cpp" "src/CMakeFiles/iotsec.dir/sig/ruleset.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/sig/ruleset.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/iotsec.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/iotsec.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

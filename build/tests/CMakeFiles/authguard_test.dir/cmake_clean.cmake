@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authguard_test.dir/authguard_test.cpp.o"
+  "CMakeFiles/authguard_test.dir/authguard_test.cpp.o.d"
+  "authguard_test"
+  "authguard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authguard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_pipeline_test.dir/crowd_pipeline_test.cpp.o"
+  "CMakeFiles/crowd_pipeline_test.dir/crowd_pipeline_test.cpp.o.d"
+  "crowd_pipeline_test"
+  "crowd_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

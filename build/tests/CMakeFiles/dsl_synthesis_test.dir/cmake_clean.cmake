@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_synthesis_test.dir/dsl_synthesis_test.cpp.o"
+  "CMakeFiles/dsl_synthesis_test.dir/dsl_synthesis_test.cpp.o.d"
+  "dsl_synthesis_test"
+  "dsl_synthesis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

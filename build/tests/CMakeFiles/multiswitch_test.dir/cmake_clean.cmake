@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiswitch_test.dir/multiswitch_test.cpp.o"
+  "CMakeFiles/multiswitch_test.dir/multiswitch_test.cpp.o.d"
+  "multiswitch_test"
+  "multiswitch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiswitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

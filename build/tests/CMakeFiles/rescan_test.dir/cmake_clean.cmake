@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rescan_test.dir/rescan_test.cpp.o"
+  "CMakeFiles/rescan_test.dir/rescan_test.cpp.o.d"
+  "rescan_test"
+  "rescan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rescan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
