@@ -8,9 +8,13 @@
 //       without the tunnel + µmbox detour;
 //   (c) responsiveness — time from µmbox launch to first enforced packet
 //       for each isolation technology.
+//   (d) data-plane fast path — steady-state forwarding rate with and
+//       without the microflow cache / parse-once / pooling layer, the
+//       per-packet cost floor everything above rides on.
 #include <cstdio>
 
 #include "core/iotsec.h"
+#include "fastpath_harness.h"
 
 using namespace iotsec;
 
@@ -188,6 +192,26 @@ int main() {
       "(the paper's case for ClickOS/Jitsu-class micro-VMs: process/micro-VM"
       "\n boots hide inside one RTT; containers hurt; full VMs are unusable"
       "\n for rapid per-device instantiation)\n");
+
+  // ---------------- (d) data-plane fast path: steady-state forwarding.
+  std::printf("\n-- (d) edge-switch forwarding rate, 256 steering rules --\n");
+  bench::FastPathConfig fp_cfg;
+  fp_cfg.rules = 256;
+  fp_cfg.packets = 100000;
+  fp_cfg.microflow = false;
+  fp_cfg.tracing = true;
+  fp_cfg.pooling = false;
+  const auto fp_slow = bench::RunFastPathWorkload(fp_cfg);
+  fp_cfg.microflow = true;
+  fp_cfg.tracing = false;
+  fp_cfg.pooling = true;
+  const auto fp_fast = bench::RunFastPathWorkload(fp_cfg);
+  std::printf("linear scan path   : %.0f pkts/s\n", fp_slow.pps);
+  std::printf("microflow fast path: %.0f pkts/s (%.2fx, cache hit rate "
+              "%.3f)\n",
+              fp_fast.pps, fp_fast.pps / fp_slow.pps, fp_fast.cache_hit_rate);
+  std::printf("(see bench_fastpath / BENCH_fastpath.json for the full "
+              "matrix)\n");
 
   const bool shape = diverted_rtt > direct_rtt &&
                      diverted_rtt < direct_rtt + 10 * kMillisecond;

@@ -17,7 +17,7 @@ void PerimeterGateway::ConnectLan(net::Link* link, int my_end) {
 }
 
 void PerimeterGateway::Receive(net::PacketPtr pkt, int port) {
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame) return;
   const SimTime now = sim_.Now();
   if (port == 1) {

@@ -64,4 +64,27 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+/// Process-wide counters for the packet fast path (parse-once header
+/// caching and pooled packet allocation — see DESIGN.md §3 "fast path").
+/// The per-switch microflow-cache counters live on the cache itself
+/// (sdn::MicroflowCache::Stats); these cover the packet-level layers.
+struct FastPathCounters {
+  Counter parse_full;    // ParsedFrame computed from raw bytes
+  Counter parse_cached;  // served from the packet's cached view
+  Counter pool_fresh;    // packets heap-allocated
+  Counter pool_reused;   // packets recycled from the pool free list
+
+  void Reset() {
+    parse_full.Reset();
+    parse_cached.Reset();
+    pool_fresh.Reset();
+    pool_reused.Reset();
+  }
+};
+
+inline FastPathCounters& GlobalFastPath() {
+  static FastPathCounters counters;
+  return counters;
+}
+
 }  // namespace iotsec

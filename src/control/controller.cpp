@@ -189,7 +189,7 @@ void IoTSecController::OnPacketIn(SwitchId sw, int in_port,
   // Unknown destinations: deliver by MAC table if known, else drop. (A
   // production controller would learn/flood; IoTSec deployments know
   // their endpoints.)
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame) return;
   for (auto& ms : switches_) {
     if (ms.sw->id() != sw) continue;
@@ -206,7 +206,7 @@ void IoTSecController::OnPacketIn(SwitchId sw, int in_port,
 
 void IoTSecController::Receive(net::PacketPtr pkt, int port) {
   (void)port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame || !frame->ip || !frame->udp) return;
   auto msg = proto::IotCtlMessage::Parse(frame->payload);
   if (!msg || msg->type != proto::IotMsgType::kEvent) return;

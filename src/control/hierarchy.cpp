@@ -62,20 +62,27 @@ HierarchyResult RunScenario(
   Rng rng(scenario.seed);
 
   const double mean_gap_s = 1.0 / scenario.event_rate_per_device_hz;
+  // This scope owns the per-device tickers; the closures hold only weak
+  // references to themselves, so nothing leaks when the run ends.
+  std::vector<std::shared_ptr<std::function<void()>>> tickers;
+  tickers.reserve(static_cast<std::size_t>(scenario.num_devices));
   for (int d = 0; d < scenario.num_devices; ++d) {
     // Stagger event generation with per-device exponential gaps.
     auto schedule_next = std::make_shared<std::function<void()>>();
+    tickers.push_back(schedule_next);
     const SimTime first =
         static_cast<SimTime>(rng.NextExponential(mean_gap_s) * kSecond);
     auto gap_rng = std::make_shared<Rng>(rng.Fork());
     *schedule_next = [&sim, &result, &route, &scenario, d, gap_rng,
-                      schedule_next, mean_gap_s] {
+                      weak = std::weak_ptr<std::function<void()>>(
+                          schedule_next),
+                      mean_gap_s] {
       if (sim.Now() >= scenario.duration) return;
       route(sim, d, sim.Now(), result);
       ++result.events;
       const auto gap = static_cast<SimDuration>(
           gap_rng->NextExponential(mean_gap_s) * kSecond);
-      sim.After(gap, *schedule_next);
+      if (auto self = weak.lock()) sim.After(gap, *self);
     };
     sim.At(first, *schedule_next);
   }

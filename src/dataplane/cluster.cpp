@@ -75,7 +75,7 @@ void UmboxHost::Receive(net::PacketPtr pkt, int port) {
   });
   auto inner = net::MakePacket(std::move(decap->inner));
   inner->created_at = pkt->created_at;
-  for (const auto& hop : pkt->trace()) inner->Trace(hop);
+  inner->CopyTraceFrom(*pkt);
   box->Process(std::move(inner));
 }
 
@@ -92,7 +92,7 @@ void UmboxHost::ReturnFrame(UmboxId vni, SwitchId origin,
                          net::MacAddress::Broadcast(), th, inner->data());
   auto pkt = net::MakePacket(std::move(outer));
   pkt->created_at = inner->created_at;
-  for (const auto& hop : inner->trace()) pkt->Trace(hop);
+  pkt->CopyTraceFrom(*inner);
   uplink_->Send(uplink_end_, std::move(pkt));
 }
 

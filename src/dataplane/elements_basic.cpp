@@ -28,7 +28,7 @@ bool Tee::Configure(const ConfigMap& config, std::string* error) {
 void Tee::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
   for (int p = 1; p < ports_; ++p) {
-    Output(std::make_shared<net::Packet>(*pkt), p);
+    Output(net::ClonePacket(*pkt), p);
   }
   Output(std::move(pkt), 0);
 }
@@ -47,7 +47,7 @@ bool Logger::Configure(const ConfigMap& config, std::string* error) {
 
 void Logger::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (frame && frame->ip) {
     IOTSEC_LOG_DEBUG("%s: %s -> %s %zu bytes", prefix_.c_str(),
                      frame->ip->src.ToString().c_str(),
@@ -167,7 +167,7 @@ bool IpFilter::RuleHits(const AclRule& rule, const proto::ParsedFrame& frame) {
 
 void IpFilter::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame || !frame->ip) {
     // Non-IP traffic is not this element's business.
     Output(std::move(pkt));

@@ -33,7 +33,7 @@ bool StatefulFirewall::Configure(const ConfigMap& config, std::string* error) {
 
 void StatefulFirewall::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame || !frame->ip || (!frame->tcp && !frame->udp)) {
     Output(std::move(pkt));
     return;
@@ -76,7 +76,7 @@ bool SignatureMatcher::Configure(const ConfigMap& config, std::string* error) {
 
 void SignatureMatcher::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame) {
     Output(std::move(pkt));
     return;
@@ -113,7 +113,7 @@ bool DnsGuard::Configure(const ConfigMap& config, std::string* error) {
 
 void DnsGuard::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame || !frame->udp || frame->udp->dst_port != proto::kDnsPort) {
     Output(std::move(pkt));
     return;
@@ -200,7 +200,7 @@ void PasswordProxy::Reject(const proto::ParsedFrame& frame) {
 
 void PasswordProxy::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   // Only HTTP *toward the protected device* is interposed.
   if (!frame || !frame->ip || frame->ip->dst != device_ip_ || !frame->tcp ||
       frame->payload.empty()) {
@@ -269,7 +269,7 @@ bool ContextGate::Configure(const ConfigMap& config, std::string* error) {
 
 void ContextGate::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   // Port-agnostic: commands delivered on non-standard flows (e.g. as
   // replies on a cloud keepalive) must not slip past the gate, so the
   // classifier is the IoTCtl magic, not the port number.
@@ -360,7 +360,7 @@ bool AuthGuard::Configure(const ConfigMap& config, std::string* error) {
 
 void AuthGuard::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame || !frame->ip || !frame->tcp) {
     Output(std::move(pkt));
     return;
@@ -424,7 +424,7 @@ bool AnomalyDetector::Configure(const ConfigMap& config, std::string* error) {
 
 void AnomalyDetector::Push(net::PacketPtr pkt, int in_port) {
   (void)in_port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame || !frame->ip) {
     Output(std::move(pkt));
     return;

@@ -52,7 +52,9 @@ void Umbox::Process(net::PacketPtr pkt) {
   switch (state_) {
     case UmboxState::kRunning:
       ++stats_.processed;
-      pkt->Trace("umbox:" + std::to_string(spec_.id));
+      if (net::Packet::TracingEnabled()) {
+        pkt->Trace("umbox:" + std::to_string(spec_.id));
+      }
       graph_->Inject(std::move(pkt));
       return;
     case UmboxState::kBooting:
@@ -75,7 +77,9 @@ void Umbox::DrainBootQueue() {
     auto pkt = std::move(boot_queue_.front());
     boot_queue_.pop_front();
     ++stats_.processed;
-    pkt->Trace("umbox:" + std::to_string(spec_.id));
+    if (net::Packet::TracingEnabled()) {
+      pkt->Trace("umbox:" + std::to_string(spec_.id));
+    }
     graph_->Inject(std::move(pkt));
   }
 }

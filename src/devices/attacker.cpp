@@ -75,22 +75,27 @@ void Attacker::BruteForceHttp(
       std::make_shared<std::function<void(std::optional<std::string>)>>(
           std::move(done));
   auto try_next = std::make_shared<std::function<void()>>();
-  *try_next = [this, state, passwords_ptr, done_ptr, try_next, target_ip,
-               target_mac, spacing] {
+  // Ownership of the closure travels with the in-flight probe callback;
+  // the closure itself holds only a weak self-reference, so when the
+  // search ends (success or exhaustion) nothing keeps it alive.
+  *try_next = [this, state, passwords_ptr, done_ptr,
+               weak = std::weak_ptr<std::function<void()>>(try_next),
+               target_ip, target_mac, spacing] {
     if (*state >= passwords_ptr->size()) {
       (*done_ptr)(std::nullopt);
       return;
     }
     const std::string candidate = (*passwords_ptr)[*state];
     ++*state;
+    auto keep = weak.lock();
     HttpGet(target_ip, target_mac, "/admin",
             std::make_pair(std::string("admin"), candidate),
-            [this, candidate, done_ptr, try_next, spacing](
+            [this, candidate, done_ptr, keep, spacing](
                 const proto::HttpResponse& resp) {
               if (resp.status == 200) {
                 (*done_ptr)(candidate);
-              } else {
-                sim_.After(spacing, [try_next] { (*try_next)(); });
+              } else if (keep) {
+                sim_.After(spacing, [keep] { (*keep)(); });
               }
             });
   };
@@ -121,7 +126,7 @@ void Attacker::DnsAmplify(net::Ipv4Address reflector_ip,
 void Attacker::Receive(net::PacketPtr pkt, int port) {
   (void)port;
   bytes_in_ += pkt->size();
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame || !frame->ip) return;
   if (frame->ip->dst != ip_) return;
 
@@ -159,7 +164,7 @@ void Attacker::Receive(net::PacketPtr pkt, int port) {
 
 void VictimSink::Receive(net::PacketPtr pkt, int port) {
   (void)port;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame || !frame->ip || frame->ip->dst != ip_) return;
   bytes_ += pkt->size();
   ++frames_;

@@ -52,7 +52,7 @@ void Device::ConnectUplink(net::Link* link, int my_end) {
 void Device::Receive(net::PacketPtr pkt, int port) {
   (void)port;
   ++stats_.frames_in;
-  auto frame = proto::ParseFrame(pkt->data());
+  const auto* frame = pkt->Parsed();
   if (!frame) return;
   // Accept frames addressed to us (or broadcast).
   if (frame->eth.dst != spec_.mac && !frame->eth.dst.IsBroadcast()) return;

@@ -1,0 +1,53 @@
+#include "net/packet.h"
+
+namespace iotsec::net {
+
+void SetPacketTracing(bool enabled) { Packet::tracing_enabled_ = enabled; }
+
+PacketPool& PacketPool::Global() {
+  static PacketPool pool;
+  return pool;
+}
+
+PacketPtr PacketPool::Wrap(std::unique_ptr<Packet> pkt) {
+  return PacketPtr(pkt.release(),
+                   [this](Packet* raw) { Release(raw); });
+}
+
+PacketPtr PacketPool::Acquire(Bytes data) {
+  if (!enabled_ || free_.empty()) {
+    GlobalFastPath().pool_fresh.Inc();
+    return Wrap(std::make_unique<Packet>(std::move(data)));
+  }
+  GlobalFastPath().pool_reused.Inc();
+  std::unique_ptr<Packet> pkt = std::move(free_.back());
+  free_.pop_back();
+  // Moving into the recycled vector keeps whichever capacity is larger.
+  pkt->data_ = std::move(data);
+  return Wrap(std::move(pkt));
+}
+
+PacketPtr PacketPool::Clone(const Packet& src) {
+  if (!enabled_ || free_.empty()) {
+    GlobalFastPath().pool_fresh.Inc();
+    return Wrap(std::make_unique<Packet>(src));
+  }
+  GlobalFastPath().pool_reused.Inc();
+  std::unique_ptr<Packet> pkt = std::move(free_.back());
+  free_.pop_back();
+  // Assign (rather than copy-construct) so the recycled byte/trace
+  // capacity is reused for the copy.
+  *pkt = src;
+  return Wrap(std::move(pkt));
+}
+
+void PacketPool::Release(Packet* pkt) {
+  if (!enabled_ || free_.size() >= max_free_) {
+    delete pkt;
+    return;
+  }
+  pkt->ResetForReuse();
+  free_.emplace_back(pkt);
+}
+
+}  // namespace iotsec::net

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sdn/microflow_cache.h"
+
 namespace iotsec::sdn {
 
 bool FlowMatch::Matches(const proto::ParsedFrame& frame,
@@ -48,6 +50,7 @@ FlowMatch FlowMatch::FromIp(net::Ipv4Address ip) {
 
 std::size_t FlowTable::Install(FlowEntry entry) {
   const std::uint64_t seq = next_seq_++;
+  ++generation_;
   // Insert keeping (-priority, seq) order so Lookup is a linear scan that
   // stops at the first hit.
   auto it = entries_.begin();
@@ -70,6 +73,7 @@ std::size_t FlowTable::RemoveByCookie(std::uint64_t cookie) {
       ++removed;
     }
   }
+  if (removed > 0) ++generation_;
   return removed;
 }
 
@@ -82,6 +86,7 @@ std::size_t FlowTable::RemoveOlderThan(std::uint64_t min_version) {
       ++removed;
     }
   }
+  if (removed > 0) ++generation_;
   return removed;
 }
 
@@ -98,6 +103,26 @@ const FlowEntry* FlowTable::Lookup(const proto::ParsedFrame& frame,
     }
   }
   return nullptr;
+}
+
+const FlowEntry* FlowTable::LookupCached(MicroflowCache& cache,
+                                         const proto::ParsedFrame& frame,
+                                         int in_port,
+                                         std::size_t frame_bytes) const {
+  const FlowKey key = FlowKey::FromFrame(frame, in_port);
+  const FlowEntry* entry = nullptr;
+  if (cache.Find(key, generation_, &entry)) {
+    // A fresh-generation hit means the table is untouched since the
+    // verdict was cached, so the pointer is still valid.
+    if (entry != nullptr && frame_bytes > 0) {
+      ++entry->packets;
+      entry->bytes += frame_bytes;
+    }
+    return entry;
+  }
+  entry = Lookup(frame, in_port, frame_bytes);
+  cache.Insert(key, entry, generation_);
+  return entry;
 }
 
 }  // namespace iotsec::sdn

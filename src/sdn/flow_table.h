@@ -79,6 +79,8 @@ struct FlowEntry {
   mutable std::uint64_t bytes = 0;
 };
 
+class MicroflowCache;
+
 class FlowTable {
  public:
   /// Installs an entry; returns its handle index (stable until removal).
@@ -91,13 +93,29 @@ class FlowTable {
   /// (two-phase consistent update: install new version, then sweep).
   std::size_t RemoveOlderThan(std::uint64_t min_version);
 
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    if (!entries_.empty()) ++generation_;
+    entries_.clear();
+    seqs_.clear();
+  }
 
   /// Highest-priority matching entry (ties: earliest installed). Updates
   /// the entry's counters when `frame_bytes` > 0.
   [[nodiscard]] const FlowEntry* Lookup(const proto::ParsedFrame& frame,
                                         int in_port,
                                         std::size_t frame_bytes = 0) const;
+
+  /// Same classification as Lookup, but answered from `cache` when it
+  /// holds a fresh verdict for the frame's exact flow; falls back to the
+  /// linear scan (and populates the cache) otherwise. Entry counters are
+  /// updated either way.
+  const FlowEntry* LookupCached(MicroflowCache& cache,
+                                const proto::ParsedFrame& frame, int in_port,
+                                std::size_t frame_bytes = 0) const;
+
+  /// Bumped on every mutation (install/remove/clear); microflow-cache
+  /// verdicts recorded under an older generation are never served.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
   [[nodiscard]] std::size_t Size() const { return entries_.size(); }
   [[nodiscard]] const std::vector<FlowEntry>& Entries() const {
@@ -108,6 +126,7 @@ class FlowTable {
   std::vector<FlowEntry> entries_;  // kept sorted by (-priority, seq)
   std::uint64_t next_seq_ = 0;
   std::vector<std::uint64_t> seqs_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace iotsec::sdn

@@ -1,0 +1,52 @@
+#include "sdn/microflow_cache.h"
+
+namespace iotsec::sdn {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+MicroflowCache::MicroflowCache(std::size_t slots)
+    : slots_(RoundUpPow2(slots == 0 ? 1 : slots)),
+      mask_(slots_.size() - 1) {}
+
+bool MicroflowCache::Find(const FlowKey& key, std::uint64_t generation,
+                          const FlowEntry** entry) {
+  Slot& slot = slots_[key.Hash() & mask_];
+  if (!slot.used || !(slot.key == key)) {
+    ++stats_.misses;
+    return false;
+  }
+  if (slot.generation != generation) {
+    ++stats_.stale;
+    return false;
+  }
+  ++stats_.hits;
+  *entry = slot.entry;
+  return true;
+}
+
+void MicroflowCache::Insert(const FlowKey& key, const FlowEntry* entry,
+                            std::uint64_t generation) {
+  Slot& slot = slots_[key.Hash() & mask_];
+  if (slot.used && !(slot.key == key) && slot.generation == generation) {
+    ++stats_.evictions;
+  }
+  slot.key = key;
+  slot.entry = entry;
+  slot.generation = generation;
+  slot.used = true;
+  ++stats_.insertions;
+}
+
+void MicroflowCache::Clear() {
+  for (Slot& slot : slots_) slot = {};
+}
+
+}  // namespace iotsec::sdn

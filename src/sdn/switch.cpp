@@ -30,16 +30,18 @@ void Switch::Output(net::PacketPtr pkt, int port) {
 void Switch::Flood(const net::PacketPtr& pkt, int in_port) {
   for (int p = 0; p < static_cast<int>(ports_.size()); ++p) {
     if (p == in_port) continue;
-    Output(std::make_shared<net::Packet>(*pkt), p);
+    Output(net::ClonePacket(*pkt), p);
   }
 }
 
 void Switch::Receive(net::PacketPtr pkt, int port) {
   ++stats_.frames;
-  pkt->Trace("switch:" + std::to_string(id_));
+  if (net::Packet::TracingEnabled()) {
+    pkt->Trace("switch:" + std::to_string(id_));
+  }
 
-  auto frame = proto::ParseFrame(pkt->data());
-  if (!frame) {
+  const auto* frame = pkt->Parsed();
+  if (frame == nullptr) {
     ++stats_.drops;
     return;
   }
@@ -70,7 +72,10 @@ void Switch::Receive(net::PacketPtr pkt, int port) {
     // (the controller installs transit entries toward the cluster).
   }
 
-  const FlowEntry* entry = table_.Lookup(*frame, port, pkt->size());
+  const FlowEntry* entry =
+      microflow_enabled_
+          ? table_.LookupCached(microflow_cache_, *frame, port, pkt->size())
+          : table_.Lookup(*frame, port, pkt->size());
   if (entry != nullptr) {
     Apply(*entry, std::move(pkt), port);
     return;
@@ -95,10 +100,17 @@ void Switch::Receive(net::PacketPtr pkt, int port) {
 }
 
 void Switch::Apply(const FlowEntry& entry, net::PacketPtr pkt, int in_port) {
-  for (const auto& action : entry.actions) {
+  const std::size_t n = entry.actions.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& action = entry.actions[i];
+    // The final action may consume the packet instead of cloning it —
+    // the single-kOutput entry (the steady-state forwarding case) then
+    // moves the packet straight through with zero copies.
+    const bool last = i + 1 == n;
     switch (action.type) {
       case ActionType::kOutput:
-        Output(std::make_shared<net::Packet>(*pkt), action.out_port);
+        Output(last ? std::move(pkt) : net::ClonePacket(*pkt),
+               action.out_port);
         break;
       case ActionType::kFlood:
         Flood(pkt, in_port);
@@ -109,7 +121,7 @@ void Switch::Apply(const FlowEntry& entry, net::PacketPtr pkt, int in_port) {
       case ActionType::kToController:
         if (handler_ != nullptr) {
           handler_->OnPacketIn(id_, in_port,
-                               std::make_shared<net::Packet>(*pkt));
+                               last ? std::move(pkt) : net::ClonePacket(*pkt));
         }
         break;
       case ActionType::kTunnelToUmbox: {
@@ -123,7 +135,7 @@ void Switch::Apply(const FlowEntry& entry, net::PacketPtr pkt, int in_port) {
                                          pkt->data());
         auto outer_pkt = net::MakePacket(std::move(outer));
         outer_pkt->created_at = pkt->created_at;
-        for (const auto& hop : pkt->trace()) outer_pkt->Trace(hop);
+        outer_pkt->CopyTraceFrom(*pkt);
         Output(std::move(outer_pkt), action.out_port);
         break;
       }
@@ -131,12 +143,12 @@ void Switch::Apply(const FlowEntry& entry, net::PacketPtr pkt, int in_port) {
   }
 }
 
-void Switch::HandleTunnelReturn(const net::PacketPtr& pkt) {
-  auto frame = proto::ParseFrame(pkt->data());
-  if (!frame) return;
+void Switch::HandleTunnelReturn(net::PacketPtr pkt) {
+  const auto* frame = pkt->Parsed();
+  if (frame == nullptr) return;
   const int port = PortOfMac(frame->eth.dst);
   if (port >= 0) {
-    Output(std::make_shared<net::Packet>(*pkt), port);
+    Output(std::move(pkt), port);
   } else {
     Flood(pkt, /*in_port=*/-1);
   }

@@ -17,6 +17,7 @@
 #include "net/packet.h"
 #include "proto/tunnel.h"
 #include "sdn/flow_table.h"
+#include "sdn/microflow_cache.h"
 #include "sim/simulator.h"
 
 namespace iotsec::sdn {
@@ -66,6 +67,15 @@ class Switch final : public net::PacketSink {
   FlowTable& flow_table() { return table_; }
   [[nodiscard]] const FlowTable& flow_table() const { return table_; }
 
+  /// Exact-match fast path in front of the flow table's linear scan.
+  /// Enabled by default; benches disable it to measure the slow path.
+  void SetMicroflowEnabled(bool enabled) { microflow_enabled_ = enabled; }
+  [[nodiscard]] bool microflow_enabled() const { return microflow_enabled_; }
+  [[nodiscard]] const MicroflowCache& microflow_cache() const {
+    return microflow_cache_;
+  }
+  MicroflowCache& microflow_cache() { return microflow_cache_; }
+
   /// Sends a raw frame out a port (controller PacketOut).
   void Output(net::PacketPtr pkt, int port);
 
@@ -92,7 +102,7 @@ class Switch final : public net::PacketSink {
 
   void Apply(const FlowEntry& entry, net::PacketPtr pkt, int in_port);
   void Flood(const net::PacketPtr& pkt, int in_port);
-  void HandleTunnelReturn(const net::PacketPtr& pkt);
+  void HandleTunnelReturn(net::PacketPtr pkt);
 
   SwitchId id_;
   sim::Simulator& sim_;
@@ -101,6 +111,8 @@ class Switch final : public net::PacketSink {
   std::map<net::MacAddress, int> mac_table_;
   std::map<SwitchId, int> switch_ports_;
   FlowTable table_;
+  MicroflowCache microflow_cache_;
+  bool microflow_enabled_ = true;
   PacketInHandler* handler_ = nullptr;
   Stats stats_;
 };

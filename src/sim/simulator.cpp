@@ -20,13 +20,19 @@ EventHandle Simulator::At(SimTime when, Callback fn) {
 EventHandle Simulator::Every(SimDuration period, Callback fn) {
   auto state = std::make_shared<EventHandle::State>();
   // The repeating closure reschedules itself unless the shared handle
-  // state says it was cancelled.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), state, tick]() {
+  // state says it was cancelled. The simulator owns the closure; the
+  // closure captures only a weak reference to itself, so no refcount
+  // cycle keeps it alive past the simulator's lifetime.
+  auto tick = std::make_shared<Callback>();
+  recurring_.push_back(tick);
+  *tick = [this, period, fn = std::move(fn), state,
+           weak = std::weak_ptr<Callback>(tick)]() {
     if (state->cancelled) return;
     fn();
     if (state->cancelled || stopped_) return;
-    queue_.push(Event{now_ + period, seq_++, *tick, nullptr});
+    if (auto self = weak.lock()) {
+      queue_.push(Event{now_ + period, seq_++, *self, nullptr});
+    }
   };
   queue_.push(Event{now_ + period, seq_++, *tick, nullptr});
   return EventHandle(std::move(state));

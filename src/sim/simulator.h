@@ -89,6 +89,9 @@ class Simulator {
   bool PopAndFire();
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Recurring closures from Every() are owned here; the queued events hold
+  // only a weak reference, so the closure/self cycle cannot leak.
+  std::vector<std::shared_ptr<Callback>> recurring_;
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -237,10 +237,14 @@ TEST(RuleSetTest, PassRuleWhitelistsOverBlock) {
   RuleSet rs(rules);
   proto::IotCtlMessage msg;
   msg.command = proto::IotCommand::kTurnOff;
+  // The parsed view's spans point into the frame bytes, so the buffers
+  // must outlive the Evaluate calls.
+  std::vector<Bytes> wires;
   auto make = [&](Ipv4Address src) {
-    return MustParse(proto::BuildUdpFrame(
+    wires.push_back(proto::BuildUdpFrame(
         MacAddress::FromId(1), MacAddress::FromId(2), src,
         Ipv4Address(10, 0, 0, 3), 1000, proto::kIotCtlPort, msg.Serialize()));
+    return MustParse(wires.back());
   };
   // Untrusted source: blocked.
   EXPECT_TRUE(rs.Evaluate(make(Ipv4Address(10, 0, 0, 99))).ShouldBlock());
@@ -252,13 +256,17 @@ TEST(RuleSetTest, MultiContentRequiresAll) {
   auto rules = ParseRules(
       "alert tcp any any -> any any (sid:5; content:\"alpha\"; content:\"beta\"; )\n");
   RuleSet rs(rules);
+  // Keep the frame bytes alive past each Evaluate: the parsed view's
+  // spans point into them.
+  std::vector<Bytes> wires;
   auto make = [&](std::string_view payload) {
-    return MustParse(proto::BuildTcpFrame(
+    wires.push_back(proto::BuildTcpFrame(
         MacAddress::FromId(1), MacAddress::FromId(2), Ipv4Address(10, 0, 0, 1),
         Ipv4Address(10, 0, 0, 2),
         proto::TcpHeader{.src_port = 1, .dst_port = 2,
                          .flags = proto::TcpFlags::kPsh},
         ToBytes(payload)));
+    return MustParse(wires.back());
   };
   EXPECT_FALSE(rs.Evaluate(make("only alpha here")).Matched());
   EXPECT_FALSE(rs.Evaluate(make("only beta here")).Matched());
