@@ -1,0 +1,221 @@
+// Recovery benchmark: MTTR (failure detected -> forwarding restored)
+// across isolation technologies and fault rates, plus a failover run
+// with host crashes.
+//
+// The paper's bet on micro-VMs is usually argued from launch latency;
+// this bench makes the availability version of the argument: when a
+// guard dies, the outage window is detection + backoff + re-boot, so
+// the boot model directly prices every failure. Full VMs turn a crash
+// into a ~12s hole; micro-VMs into ~0.4s.
+//
+// Emits machine-readable BENCH_recovery.json. Exit code enforces the
+// self-healing acceptance criteria:
+//   - fault plans are bit-for-bit reproducible per seed;
+//   - detected_failures == restarts + failovers + give_ups in every run.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/iotsec.h"
+
+using namespace iotsec;
+
+namespace {
+
+struct RunResult {
+  std::string name;
+  dataplane::BootModel boot = dataplane::BootModel::kMicroVm;
+  double crash_rate_hz = 0.0;
+  double host_crash_rate_hz = 0.0;
+  std::size_t planned_faults = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t skipped = 0;
+  control::IoTSecController::Stats stats;
+  bool equation_holds = false;
+};
+
+RunResult RunSoak(const std::string& name, dataplane::BootModel boot,
+                  double crash_rate_hz, double host_crash_rate_hz,
+                  int hosts) {
+  core::DeploymentOptions opts;
+  opts.cluster_hosts = hosts;
+  opts.controller.umbox_boot = boot;
+  core::Deployment dep(opts);
+  std::vector<DeviceId> device_ids;
+  for (int i = 0; i < 4; ++i) {
+    device_ids.push_back(
+        dep.AddCamera("cam" + std::to_string(i))->id());
+  }
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  dep.UsePolicy(dep.BuildStateSpace(), std::move(policy));
+  dep.Start();
+  // Let every guard finish booting before the faults start (full VMs
+  // take 12s).
+  dep.RunFor(dataplane::BootLatency(boot) + 2 * kSecond);
+
+  fault::PlanConfig cfg;
+  cfg.start = dep.sim().Now();
+  cfg.horizon = 30 * kSecond;
+  cfg.umbox_crash_rate_hz = crash_rate_hz;
+  cfg.host_crash_rate_hz = host_crash_rate_hz;
+  cfg.devices = device_ids;
+  cfg.hosts = static_cast<std::size_t>(hosts);
+  const auto plan = dep.chaos().BuildPlan(cfg);
+  dep.chaos().Schedule(plan);
+  // Host-crash runs get one scripted kill on top of the Poisson stream so
+  // the row always demonstrates failover (0.03Hz x 30s often draws zero).
+  if (host_crash_rate_hz > 0.0) {
+    dep.chaos().CrashHost(cfg.start + cfg.horizon / 2, /*host=*/1);
+  }
+
+  // Soak, then settle: worst case a fault lands at the very end of the
+  // horizon and pays detection + full backoff ladder + boot again.
+  dep.RunFor(cfg.horizon + 3 * dataplane::BootLatency(boot) + 20 * kSecond);
+
+  RunResult r;
+  r.name = name;
+  r.boot = boot;
+  r.crash_rate_hz = crash_rate_hz;
+  r.host_crash_rate_hz = host_crash_rate_hz;
+  r.planned_faults = plan.size();
+  const auto& cs = dep.chaos().stats();
+  r.injected = cs.umbox_crashes + cs.host_crashes;
+  r.skipped = cs.skipped;
+  r.stats = dep.controller().stats();
+  r.equation_holds =
+      r.stats.detected_failures ==
+      r.stats.recovery_restarts + r.stats.recovery_failovers +
+          r.stats.recovery_give_ups;
+  return r;
+}
+
+/// Bit-for-bit determinism: the same seed must produce the same plan,
+/// a different seed a different one.
+bool CheckPlanDeterminism() {
+  sim::Simulator sim;
+  fault::PlanConfig cfg;
+  cfg.horizon = 60 * kSecond;
+  cfg.umbox_crash_rate_hz = 0.5;
+  cfg.host_crash_rate_hz = 0.05;
+  cfg.link_flap_rate_hz = 0.2;
+  cfg.control_degrade_rate_hz = 0.1;
+  cfg.devices = {10, 11, 12, 13};
+  cfg.hosts = 3;
+  cfg.links = 8;
+
+  auto fingerprint = [&](std::uint64_t seed) {
+    fault::FaultInjector inj(sim, seed);
+    std::string fp;
+    for (const auto& ev : inj.BuildPlan(cfg)) {
+      fp += ev.ToString();
+      fp += '\n';
+    }
+    return fp;
+  };
+  const auto a = fingerprint(7);
+  const auto b = fingerprint(7);
+  const auto c = fingerprint(8);
+  if (a != b) {
+    std::printf("!! same seed produced different plans\n");
+    return false;
+  }
+  if (a == c) {
+    std::printf("!! different seeds produced identical plans\n");
+    return false;
+  }
+  std::printf("plan determinism: %zu bytes of schedule, reproducible\n",
+              a.size());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== self-healing: MTTR by boot model and fault rate ===\n");
+
+  const bool deterministic = CheckPlanDeterminism();
+
+  std::vector<RunResult> rows;
+  const struct {
+    dataplane::BootModel boot;
+    const char* name;
+  } models[] = {
+      {dataplane::BootModel::kProcess, "process"},
+      {dataplane::BootModel::kMicroVm, "micro_vm"},
+      {dataplane::BootModel::kContainer, "container"},
+      {dataplane::BootModel::kFullVm, "full_vm"},
+  };
+  for (const auto& m : models) {
+    for (const double rate : {0.1, 0.5}) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s_rate%.1f", m.name, rate);
+      rows.push_back(RunSoak(name, m.boot, rate, /*host_crash_rate_hz=*/0.0,
+                             /*hosts=*/2));
+    }
+  }
+  // Failover run: host crashes force re-placement instead of in-place
+  // restarts.
+  rows.push_back(RunSoak("failover_micro_vm", dataplane::BootModel::kMicroVm,
+                         /*crash_rate_hz=*/0.2, /*host_crash_rate_hz=*/0.03,
+                         /*hosts=*/3));
+
+  std::printf("\n%-20s %-9s %-9s %-9s %-9s %-8s %-11s %-11s\n", "run",
+              "detected", "restarts", "failover", "give_ups", "eq",
+              "mttr_ms", "mttr_max_ms");
+  bool all_equations = true;
+  for (const auto& r : rows) {
+    all_equations = all_equations && r.equation_holds;
+    std::printf("%-20s %-9llu %-9llu %-9llu %-9llu %-8s %-11.1f %-11.1f\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.stats.detected_failures),
+                static_cast<unsigned long long>(r.stats.recovery_restarts),
+                static_cast<unsigned long long>(r.stats.recovery_failovers),
+                static_cast<unsigned long long>(r.stats.recovery_give_ups),
+                r.equation_holds ? "ok" : "BROKEN", r.stats.MeanMttrMs(),
+                static_cast<double>(r.stats.mttr_max) / 1e6);
+  }
+
+  FILE* json = std::fopen("BENCH_recovery.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"recovery\",\n");
+    std::fprintf(json, "  \"plan_deterministic\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(json, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(
+          json,
+          "    {\"run\": \"%s\", \"boot\": \"%s\", "
+          "\"umbox_crash_rate_hz\": %.2f, \"host_crash_rate_hz\": %.2f, "
+          "\"planned\": %zu, \"injected\": %llu, \"skipped\": %llu, "
+          "\"detected\": %llu, \"restarts\": %llu, \"failovers\": %llu, "
+          "\"give_ups\": %llu, \"heartbeats\": %llu, "
+          "\"mean_mttr_ms\": %.2f, \"max_mttr_ms\": %.2f, "
+          "\"equation_holds\": %s}%s\n",
+          r.name.c_str(),
+          std::string(dataplane::BootModelName(r.boot)).c_str(),
+          r.crash_rate_hz, r.host_crash_rate_hz, r.planned_faults,
+          static_cast<unsigned long long>(r.injected),
+          static_cast<unsigned long long>(r.skipped),
+          static_cast<unsigned long long>(r.stats.detected_failures),
+          static_cast<unsigned long long>(r.stats.recovery_restarts),
+          static_cast<unsigned long long>(r.stats.recovery_failovers),
+          static_cast<unsigned long long>(r.stats.recovery_give_ups),
+          static_cast<unsigned long long>(r.stats.heartbeats),
+          r.stats.MeanMttrMs(),
+          static_cast<double>(r.stats.mttr_max) / 1e6,
+          r.equation_holds ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_recovery.json\n");
+  }
+
+  std::printf("\nacceptance: plans deterministic: %s; accounting equation: "
+              "%s\n",
+              deterministic ? "HOLDS" : "VIOLATED",
+              all_equations ? "HOLDS" : "VIOLATED");
+  return (deterministic && all_equations) ? 0 : 1;
+}

@@ -11,6 +11,7 @@ std::string_view AuditCategoryName(AuditCategory c) {
     case AuditCategory::kAlert: return "alert";
     case AuditCategory::kCrowd: return "crowd";
     case AuditCategory::kFailure: return "failure";
+    case AuditCategory::kRecovery: return "recovery";
   }
   return "?";
 }

@@ -23,6 +23,7 @@ enum class AuditCategory : std::uint8_t {
   kAlert,        // alert received from the dataplane
   kCrowd,        // crowd signature applied
   kFailure,      // enforcement failure
+  kRecovery,     // failure detected / restart / failover / give-up
 };
 
 std::string_view AuditCategoryName(AuditCategory c);

@@ -1,5 +1,7 @@
 #include "control/controller.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "common/strings.h"
 #include "proto/frame.h"
@@ -26,22 +28,44 @@ std::string FirstElementName(const std::string& config) {
 
 IoTSecController::IoTSecController(sim::Simulator& simulator,
                                    ControllerConfig config)
-    : sim_(simulator), config_(config) {}
+    : sim_(simulator),
+      config_(config),
+      health_(HealthConfig{config.heartbeat_period,
+                           config.heartbeat_miss_threshold}),
+      recovery_rng_(config.recovery_seed),
+      control_fault_rng_(config.recovery_seed ^ 0xC7A11u) {}
 
 void IoTSecController::ManageSwitch(sdn::Switch* sw, int port_to_cluster) {
   sw->SetPacketInHandler(this);
   sw->SetMissBehavior(sdn::Switch::MissBehavior::kToController);
-  switches_.push_back(ManagedSwitch{sw, port_to_cluster});
+  switches_.push_back(ManagedSwitch{sw, port_to_cluster, {}});
+}
+
+void IoTSecController::MapHostPort(sdn::Switch* sw, ServerId host,
+                                   int port) {
+  for (auto& ms : switches_) {
+    if (ms.sw == sw) ms.host_ports[host] = port;
+  }
 }
 
 void IoTSecController::SetCluster(dataplane::Cluster* cluster) {
   cluster_ = cluster;
   for (dataplane::UmboxHost* host : cluster->hosts()) {
     host->SetAlertSink([this](UmboxId id, const dataplane::Alert& alert) {
-      // Alerts ride the control channel: they land after control latency.
-      sim_.After(config_.control_latency,
-                 [this, id, alert] { OnUmboxAlert(id, alert); });
+      // Alerts ride the control channel: they land after control latency
+      // (and are subject to injected control-channel faults).
+      DeliverControl([this, id, alert] { OnUmboxAlert(id, alert); });
     });
+    if (config_.self_healing) {
+      health_.TrackHost(host->id(), sim_.Now());
+      host->StartHeartbeats(
+          [this](ServerId server, std::vector<UmboxId> running) {
+            DeliverControl([this, server, running = std::move(running)] {
+              OnHostHeartbeat(server, running);
+            });
+          },
+          config_.heartbeat_period);
+    }
   }
 }
 
@@ -152,6 +176,10 @@ void IoTSecController::OnCrowdSignature(const std::string& sku) {
 
 void IoTSecController::Start() {
   started_ = true;
+  if (config_.self_healing && cluster_ != nullptr &&
+      !cluster_->hosts().empty()) {
+    sim_.Every(config_.heartbeat_period, [this] { CheckHealth(); });
+  }
   for (auto& ms : switches_) {
     // Base L2 forwarding: one low-priority entry per known MAC on each
     // switch, so normal traffic flows without controller involvement.
@@ -295,12 +323,7 @@ void IoTSecController::ApplyPosture(ManagedDevice& md,
   const bool needs_umbox = posture.tunnel && !posture.umbox_config.empty();
   if (!needs_umbox) {
     RemoveDiversion(md);
-    if (md.umbox && cluster_ != nullptr) {
-      if (dataplane::UmboxHost* host = cluster_->HostOf(*md.umbox)) {
-        host->Stop(*md.umbox);
-      }
-      md.umbox.reset();
-    }
+    AbandonUmbox(md);
     md.posture = posture;
     return;
   }
@@ -315,7 +338,8 @@ void IoTSecController::ApplyPosture(ManagedDevice& md,
   if (md.umbox) {
     // Existing instance: hot reconfigure (or cold restart for ablation).
     dataplane::Umbox* box = cluster_->Find(*md.umbox);
-    if (box != nullptr) {
+    if (box != nullptr &&
+        box->state() != dataplane::UmboxState::kCrashed) {
       std::string error;
       const std::string config = EffectiveConfig(md, posture.umbox_config);
       const bool ok = config_.hot_reconfig ? box->Reconfigure(config, &error)
@@ -334,7 +358,9 @@ void IoTSecController::ApplyPosture(ManagedDevice& md,
       md.posture = posture;
       return;
     }
-    md.umbox.reset();
+    // Crashed in place or lost with its host: the new posture supersedes
+    // any in-flight recovery — abandon the instance and launch fresh.
+    AbandonUmbox(md);
   }
 
   dataplane::UmboxHost* host = cluster_->PickHost();
@@ -366,6 +392,9 @@ void IoTSecController::ApplyPosture(ManagedDevice& md,
                     std::string(dataplane::BootModelName(spec.boot)) +
                     ") for posture " + posture.profile);
   md.umbox = spec.id;
+  if (config_.self_healing) {
+    health_.TrackUmbox(spec.id, host->id(), sim_.Now());
+  }
   // Divert immediately; the µmbox queues packets while booting, so the
   // device keeps (delayed) connectivity instead of a blackhole.
   InstallDiversion(md, spec.id);
@@ -376,6 +405,16 @@ void IoTSecController::InstallDiversion(ManagedDevice& md, UmboxId umbox) {
   RemoveDiversion(md);
   for (auto& ms : switches_) {
     if (ms.sw != md.sw) continue;
+    // Tunnel out the port of the host actually serving this µmbox —
+    // after a failover the instance lives somewhere else than the
+    // default first-host port.
+    int tunnel_port = ms.cluster_port;
+    if (cluster_ != nullptr) {
+      if (dataplane::UmboxHost* host = cluster_->HostOf(umbox)) {
+        const auto it = ms.host_ports.find(host->id());
+        if (it != ms.host_ports.end()) tunnel_port = it->second;
+      }
+    }
     ++flow_version_;
     const auto ip = md.device->spec().ip;
     for (const auto& match :
@@ -383,7 +422,7 @@ void IoTSecController::InstallDiversion(ManagedDevice& md, UmboxId umbox) {
       sdn::FlowEntry entry;
       entry.priority = 100;
       entry.match = match;
-      entry.actions = {sdn::FlowAction::Tunnel(umbox, ms.cluster_port)};
+      entry.actions = {sdn::FlowAction::Tunnel(umbox, tunnel_port)};
       entry.cookie = 0x1000000ull + md.device->id();
       entry.version = flow_version_;
       ms.sw->flow_table().Install(entry);
@@ -397,6 +436,10 @@ void IoTSecController::InstallIsolation(ManagedDevice& md) {
   audit_.Record(sim_.Now(), AuditCategory::kFailure,
                 md.device->spec().name,
                 "enforcement failed; fail-closed isolation installed");
+  InstallQuarantine(md);
+}
+
+void IoTSecController::InstallQuarantine(ManagedDevice& md) {
   RemoveDiversion(md);
   for (auto& ms : switches_) {
     if (ms.sw != md.sw) continue;
@@ -422,6 +465,266 @@ void IoTSecController::RemoveDiversion(ManagedDevice& md) {
     stats_.flow_ops +=
         ms.sw->flow_table().RemoveByCookie(0x1000000ull + md.device->id());
   }
+}
+
+// ---------------------------------------------------------------------
+// Self-healing: heartbeats in, failures detected, recovery driven.
+
+void IoTSecController::DeliverControl(std::function<void()> fn) {
+  if (control_drop_rate_ > 0.0 &&
+      control_fault_rng_.NextBool(control_drop_rate_)) {
+    ++stats_.control_drops;
+    return;
+  }
+  sim_.After(config_.control_latency + control_extra_delay_, std::move(fn));
+}
+
+void IoTSecController::SetControlChannelFault(double drop_rate,
+                                              SimDuration extra_delay) {
+  control_drop_rate_ = drop_rate;
+  control_extra_delay_ = extra_delay;
+}
+
+void IoTSecController::OnHostHeartbeat(ServerId host,
+                                       std::vector<UmboxId> running) {
+  ++stats_.heartbeats;
+  health_.OnHeartbeat(host, running, sim_.Now());
+}
+
+void IoTSecController::CheckHealth() {
+  const auto failures = health_.Check(sim_.Now());
+  for (const auto& hf : failures.hosts) HandleHostFailure(hf);
+  for (const UmboxId id : failures.umboxes) {
+    HandleUmboxFailure(id, "heartbeat lost");
+  }
+}
+
+void IoTSecController::HandleHostFailure(
+    const HealthMonitor::HostFailure& failure) {
+  ++stats_.host_failures;
+  audit_.Record(sim_.Now(), AuditCategory::kRecovery, "",
+                "host " + std::to_string(failure.host) +
+                    " stopped heartbeating; failing over " +
+                    std::to_string(failure.umboxes.size()) + " umbox(es)");
+  IOTSEC_LOG_WARN("host %u declared dead; %zu umboxes to fail over",
+                  failure.host, failure.umboxes.size());
+  for (const UmboxId id : failure.umboxes) {
+    HandleUmboxFailure(id, "lost with its host");
+  }
+}
+
+void IoTSecController::HandleUmboxFailure(UmboxId umbox, const char* cause) {
+  ManagedDevice* md = FindByUmbox(umbox);
+  if (md == nullptr) return;  // already re-postured away
+  ++stats_.detected_failures;
+  md->recovering = true;
+  md->recovery_attempts = 0;
+  md->failure_detected_at = sim_.Now();
+  ++md->recovery_epoch;
+  audit_.Record(sim_.Now(), AuditCategory::kRecovery, md->device->spec().name,
+                "umbox " + std::to_string(umbox) + " " + cause + "; " +
+                    (config_.fail_closed ? "fail-closed quarantine"
+                                         : "fail-open forwarding") +
+                    " while recovering");
+  // The invariant: while the guard is down, no packet may reach the
+  // device unfiltered. Quarantine drop rules replace the diversion until
+  // the replacement instance reports ready.
+  if (config_.fail_closed) {
+    InstallQuarantine(*md);
+  } else {
+    RemoveDiversion(*md);
+  }
+  ScheduleRecoveryAttempt(*md);
+}
+
+void IoTSecController::ScheduleRecoveryAttempt(ManagedDevice& md) {
+  if (md.recovery_attempts >= config_.max_restart_attempts) {
+    ++stats_.recovery_give_ups;
+    md.recovering = false;
+    if (md.umbox) {
+      health_.UntrackUmbox(*md.umbox);
+      md.umbox.reset();
+    }
+    audit_.Record(sim_.Now(), AuditCategory::kRecovery,
+                  md.device->spec().name,
+                  "recovery abandoned after " +
+                      std::to_string(config_.max_restart_attempts) +
+                      " attempt(s); device stays " +
+                      (config_.fail_closed ? "quarantined" : "unguarded"));
+    IOTSEC_LOG_ERROR("giving up on %s after %d recovery attempts",
+                     md.device->spec().name.c_str(),
+                     config_.max_restart_attempts);
+    return;
+  }
+  const int attempt = md.recovery_attempts++;
+  SimDuration backoff = config_.restart_backoff_base
+                        << std::min(attempt, 30);
+  backoff = std::min(backoff, config_.restart_backoff_cap);
+  backoff += static_cast<SimDuration>(recovery_rng_.NextDouble() *
+                                      config_.restart_jitter *
+                                      static_cast<double>(backoff));
+  const DeviceId device = md.device->id();
+  const std::uint64_t epoch = md.recovery_epoch;
+  sim_.After(backoff,
+             [this, device, epoch] { AttemptRecovery(device, epoch); });
+}
+
+void IoTSecController::AttemptRecovery(DeviceId device,
+                                       std::uint64_t epoch) {
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) return;
+  ManagedDevice& md = it->second;
+  if (!md.recovering || md.recovery_epoch != epoch) return;
+  if (!md.posture.tunnel || md.posture.umbox_config.empty() ||
+      cluster_ == nullptr) {
+    // The posture no longer wants a µmbox; nothing to restore.
+    md.recovering = false;
+    return;
+  }
+  const std::string config = EffectiveConfig(md, md.posture.umbox_config);
+  const int attempt = md.recovery_attempts;  // for the boot watchdog
+
+  // Preferred: restart in place — same id, same host, same tunnel rules.
+  if (md.umbox) {
+    dataplane::UmboxHost* host = cluster_->HostOf(*md.umbox);
+    if (host != nullptr && host->alive()) {
+      if (dataplane::Umbox* box = host->Find(*md.umbox)) {
+        std::string error;
+        const UmboxId id = *md.umbox;
+        const ServerId server = host->id();
+        if (box->Restart(config, &error, [this, device, epoch, id, server] {
+              FinishRecovery(device, epoch, id, server, /*failover=*/false);
+            })) {
+          audit_.Record(sim_.Now(), AuditCategory::kRecovery,
+                        md.device->spec().name,
+                        "restarting umbox " + std::to_string(id) +
+                            " in place (attempt " +
+                            std::to_string(attempt) + ")");
+          ArmRecoveryWatchdog(device, epoch, attempt);
+          return;
+        }
+        IOTSEC_LOG_ERROR("in-place restart failed for %s: %s",
+                         md.device->spec().name.c_str(), error.c_str());
+      }
+    }
+  }
+
+  // Failover: a fresh instance on the least-loaded surviving host.
+  dataplane::UmboxHost* host = cluster_->PickHost();
+  if (host == nullptr) {
+    audit_.Record(sim_.Now(), AuditCategory::kRecovery,
+                  md.device->spec().name,
+                  "no surviving host with capacity (attempt " +
+                      std::to_string(attempt) + "); backing off");
+    ScheduleRecoveryAttempt(md);
+    return;
+  }
+  dataplane::UmboxSpec spec;
+  spec.id = next_umbox_id_++;
+  spec.device = device;
+  spec.config_text = config;
+  spec.boot = config_.umbox_boot;
+  dataplane::ElementContext ctx;
+  ctx.sim = &sim_;
+  ctx.context = &view_;
+  std::string error;
+  const ServerId server = host->id();
+  dataplane::Umbox* box = host->Launch(
+      spec, ctx, &error, [this, device, epoch, id = spec.id, server] {
+        FinishRecovery(device, epoch, id, server, /*failover=*/true);
+      });
+  if (box == nullptr) {
+    IOTSEC_LOG_ERROR("failover launch failed for %s: %s",
+                     md.device->spec().name.c_str(), error.c_str());
+    ScheduleRecoveryAttempt(md);
+    return;
+  }
+  audit_.Record(sim_.Now(), AuditCategory::kRecovery, md.device->spec().name,
+                "failing over to umbox " + std::to_string(spec.id) +
+                    " on host " + std::to_string(server) + " (attempt " +
+                    std::to_string(attempt) + ")");
+  // The old instance (if any) died with its host; point at the
+  // replacement. Forwarding is restored only once it reports ready.
+  md.umbox = spec.id;
+  ArmRecoveryWatchdog(device, epoch, attempt);
+}
+
+void IoTSecController::ArmRecoveryWatchdog(DeviceId device,
+                                           std::uint64_t epoch,
+                                           int attempt) {
+  // If the replacement dies mid-boot (e.g. its host crashes too), its
+  // on_ready callback never fires and — since booting instances are not
+  // health-tracked — no new detection would come. The watchdog retries.
+  const SimDuration grace = dataplane::BootLatency(config_.umbox_boot) +
+                            health_.Timeout() +
+                            2 * config_.control_latency;
+  sim_.After(grace, [this, device, epoch, attempt] {
+    const auto it = devices_.find(device);
+    if (it == devices_.end()) return;
+    ManagedDevice& md = it->second;
+    if (!md.recovering || md.recovery_epoch != epoch) return;
+    // `attempt` is the count as of the attempt this watchdog guards; a
+    // higher count means a newer attempt superseded it.
+    if (md.recovery_attempts != attempt) return;
+    audit_.Record(sim_.Now(), AuditCategory::kRecovery,
+                  md.device->spec().name,
+                  "replacement never came up (attempt " +
+                      std::to_string(attempt) + "); retrying");
+    ScheduleRecoveryAttempt(md);
+  });
+}
+
+void IoTSecController::FinishRecovery(DeviceId device, std::uint64_t epoch,
+                                      UmboxId umbox, ServerId host,
+                                      bool failover) {
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) return;
+  ManagedDevice& md = it->second;
+  if (!md.recovering || md.recovery_epoch != epoch) return;
+  md.recovering = false;
+  md.umbox = umbox;
+  if (failover) {
+    ++stats_.recovery_failovers;
+  } else {
+    ++stats_.recovery_restarts;
+  }
+  const SimDuration mttr = sim_.Now() - md.failure_detected_at;
+  stats_.mttr_total += mttr;
+  stats_.mttr_max = std::max(stats_.mttr_max, mttr);
+  ++stats_.mttr_samples;
+  if (config_.self_healing) {
+    health_.TrackUmbox(umbox, host, sim_.Now());
+  }
+  // Replacement is filtering again: swap the quarantine drops back for
+  // version-stamped diversion rules.
+  InstallDiversion(md, umbox);
+  audit_.Record(sim_.Now(), AuditCategory::kRecovery, md.device->spec().name,
+                std::string(failover ? "failover" : "restart") +
+                    " complete; umbox " + std::to_string(umbox) +
+                    " ready on host " + std::to_string(host) + ", mttr " +
+                    FormatDuration(mttr));
+  IOTSEC_LOG_INFO("%s recovered via %s (umbox %u, mttr %s)",
+                  md.device->spec().name.c_str(),
+                  failover ? "failover" : "restart", umbox,
+                  FormatDuration(mttr).c_str());
+}
+
+void IoTSecController::AbandonUmbox(ManagedDevice& md) {
+  ++md.recovery_epoch;
+  md.recovering = false;
+  if (!md.umbox) return;
+  health_.UntrackUmbox(*md.umbox);
+  if (cluster_ != nullptr) {
+    if (dataplane::UmboxHost* host = cluster_->HostOf(*md.umbox)) {
+      host->Stop(*md.umbox);
+    }
+  }
+  md.umbox.reset();
+}
+
+bool IoTSecController::Recovering(DeviceId device) const {
+  const auto it = devices_.find(device);
+  return it != devices_.end() && it->second.recovering;
 }
 
 std::optional<UmboxId> IoTSecController::UmboxOf(DeviceId device) const {

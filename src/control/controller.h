@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "control/audit.h"
+#include "control/health.h"
 #include "control/view.h"
 #include "dataplane/cluster.h"
 #include "devices/device.h"
@@ -43,6 +45,26 @@ struct ControllerConfig {
   /// true = install drop rules for the device (fail closed);
   /// false = leave plain L2 forwarding in place (fail open).
   bool fail_closed = true;
+
+  // ---- Self-healing (heartbeats + automatic recovery).
+  /// Master switch for health monitoring and automatic recovery.
+  bool self_healing = true;
+  /// Host heartbeat period; the controller's health check runs at the
+  /// same cadence.
+  SimDuration heartbeat_period = 100 * kMillisecond;
+  /// Missed heartbeats before a host/µmbox is declared dead.
+  int heartbeat_miss_threshold = 3;
+  /// Restart backoff: base * 2^attempt + jitter, capped.
+  SimDuration restart_backoff_base = 50 * kMillisecond;
+  SimDuration restart_backoff_cap = 5 * kSecond;
+  /// Jitter as a fraction of the computed backoff (decorrelates herds of
+  /// restarts after a host failure).
+  double restart_jitter = 0.2;
+  /// Recovery attempts per detected failure before giving up (the device
+  /// then stays in its fail-closed/fail-open fallback).
+  int max_restart_attempts = 6;
+  /// Seed for the backoff-jitter stream (determinism).
+  std::uint64_t recovery_seed = 0x5EA1;
 };
 
 class IoTSecController final : public sdn::PacketInHandler,
@@ -52,6 +74,10 @@ class IoTSecController final : public sdn::PacketInHandler,
 
   // ---- Wiring (called once while building the deployment).
   void ManageSwitch(sdn::Switch* sw, int port_to_cluster);
+  /// Maps one cluster host's uplink to its port on `sw`; diversion rules
+  /// for a µmbox tunnel out the port of the host actually serving it.
+  /// Call after ManageSwitch.
+  void MapHostPort(sdn::Switch* sw, ServerId host, int port);
   void SetCluster(dataplane::Cluster* cluster);
   /// Registers a device attached to `sw` at `port`; installs its L2 entry
   /// and starts its context as "unpatched" (has flaws) or "normal".
@@ -99,6 +125,15 @@ class IoTSecController final : public sdn::PacketInHandler,
   /// The µmbox currently enforcing a device's posture (if any).
   [[nodiscard]] std::optional<UmboxId> UmboxOf(DeviceId device) const;
   [[nodiscard]] std::string PostureProfileOf(DeviceId device) const;
+  /// True while the device's guard is down and recovery is in flight.
+  [[nodiscard]] bool Recovering(DeviceId device) const;
+
+  /// Degrades the control channel (fault injection): each heartbeat/alert
+  /// delivery is dropped with `drop_rate` and delayed by `extra_delay`
+  /// on top of the control latency. Pass (0, 0) to heal.
+  void SetControlChannelFault(double drop_rate, SimDuration extra_delay);
+
+  [[nodiscard]] const HealthMonitor& health() const { return health_; }
 
   struct Stats {
     std::uint64_t telemetry_events = 0;
@@ -112,6 +147,25 @@ class IoTSecController final : public sdn::PacketInHandler,
     std::uint64_t posture_changes = 0;
     std::uint64_t enforcement_failures = 0;  // fail-closed isolations
     std::uint64_t crowd_rules_applied = 0;
+    // ---- self-healing observability
+    std::uint64_t heartbeats = 0;          // heartbeats delivered
+    std::uint64_t control_drops = 0;       // control-channel fault losses
+    std::uint64_t detected_failures = 0;   // per-µmbox failures detected
+    std::uint64_t host_failures = 0;       // host-level outages detected
+    std::uint64_t recovery_restarts = 0;   // in-place restarts completed
+    std::uint64_t recovery_failovers = 0;  // re-placements completed
+    std::uint64_t recovery_give_ups = 0;   // abandoned after max attempts
+    // MTTR = detection -> forwarding restored, accumulated per recovery.
+    SimDuration mttr_total = 0;
+    SimDuration mttr_max = 0;
+    std::uint64_t mttr_samples = 0;
+
+    [[nodiscard]] double MeanMttrMs() const {
+      return mttr_samples == 0
+                 ? 0.0
+                 : static_cast<double>(mttr_total) /
+                       static_cast<double>(mttr_samples) / 1e6;
+    }
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -123,10 +177,21 @@ class IoTSecController final : public sdn::PacketInHandler,
     policy::Posture posture;  // currently enforced
     std::optional<UmboxId> umbox;
     int alert_count = 0;
+    // ---- recovery state machine
+    bool recovering = false;
+    int recovery_attempts = 0;
+    SimTime failure_detected_at = 0;
+    /// Bumped whenever recovery is (re)started or cancelled; in-flight
+    /// backoff/boot callbacks carry the epoch they were scheduled under
+    /// and no-op on mismatch.
+    std::uint64_t recovery_epoch = 0;
   };
   struct ManagedSwitch {
     sdn::Switch* sw = nullptr;
-    int cluster_port = -1;
+    int cluster_port = -1;  // default tunnel port (first host's uplink)
+    /// Tunnel port per cluster host, so diversions follow a µmbox to
+    /// whichever host it lands on (failover re-placement included).
+    std::map<ServerId, int> host_ports;
   };
 
   void ScheduleReevaluate();
@@ -140,7 +205,30 @@ class IoTSecController final : public sdn::PacketInHandler,
   void RemoveDiversion(ManagedDevice& md);
   /// Fail-closed fallback: isolates the device at the switch.
   void InstallIsolation(ManagedDevice& md);
+  /// The drop rules alone (no enforcement-failure accounting) — used
+  /// both by InstallIsolation and by recovery quarantine.
+  void InstallQuarantine(ManagedDevice& md);
   void EscalateContext(const std::string& device_name, ManagedDevice& md);
+
+  // ---- self-healing internals
+  /// Control-channel delivery: applies latency plus any injected
+  /// drop/delay fault to a controller-bound message.
+  void DeliverControl(std::function<void()> fn);
+  void OnHostHeartbeat(ServerId host, std::vector<UmboxId> running);
+  void CheckHealth();
+  void HandleUmboxFailure(UmboxId umbox, const char* cause);
+  void HandleHostFailure(const HealthMonitor::HostFailure& failure);
+  void ScheduleRecoveryAttempt(ManagedDevice& md);
+  void AttemptRecovery(DeviceId device, std::uint64_t epoch);
+  /// Retries if a replacement instance dies mid-boot (no on_ready, no
+  /// heartbeat tracking yet — without this the recovery would stall).
+  void ArmRecoveryWatchdog(DeviceId device, std::uint64_t epoch,
+                           int attempt);
+  void FinishRecovery(DeviceId device, std::uint64_t epoch, UmboxId umbox,
+                      ServerId host, bool failover);
+  /// Cancels any in-flight recovery and forgets the device's instance
+  /// (posture changed out from under the recovery).
+  void AbandonUmbox(ManagedDevice& md);
 
   [[nodiscard]] ManagedDevice* FindByIp(net::Ipv4Address ip);
   [[nodiscard]] ManagedDevice* FindByUmbox(UmboxId umbox);
@@ -160,6 +248,11 @@ class IoTSecController final : public sdn::PacketInHandler,
   net::MacAddress hub_mac_ = net::MacAddress::FromId(0xC0117701);
   net::Ipv4Address hub_ip_ = net::Ipv4Address(10, 0, 0, 1);
   AuditLog audit_;
+  HealthMonitor health_;
+  Rng recovery_rng_;
+  double control_drop_rate_ = 0.0;
+  SimDuration control_extra_delay_ = 0;
+  Rng control_fault_rng_;
   learn::CrowdRepo* crowd_repo_ = nullptr;
   /// Accepted crowd rule texts per SKU, ready to splice into chains.
   std::map<std::string, std::vector<std::string>> crowd_rules_;

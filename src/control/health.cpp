@@ -1,0 +1,71 @@
+#include "control/health.h"
+
+namespace iotsec::control {
+
+void HealthMonitor::TrackHost(ServerId host, SimTime now) {
+  hosts_[host] = HostRecord{now, true};
+}
+
+void HealthMonitor::TrackUmbox(UmboxId umbox, ServerId host, SimTime now) {
+  umboxes_[umbox] = UmboxRecord{host, now};
+}
+
+void HealthMonitor::UntrackUmbox(UmboxId umbox) { umboxes_.erase(umbox); }
+
+void HealthMonitor::OnHeartbeat(ServerId host,
+                                const std::vector<UmboxId>& running,
+                                SimTime now) {
+  ++heartbeats_seen_;
+  auto hit = hosts_.find(host);
+  if (hit == hosts_.end()) {
+    // Unknown host announcing itself: start watching it.
+    hosts_[host] = HostRecord{now, true};
+  } else {
+    hit->second.last_seen = now;
+    hit->second.alive = true;
+  }
+  for (const UmboxId id : running) {
+    const auto uit = umboxes_.find(id);
+    if (uit == umboxes_.end() || uit->second.host != host) continue;
+    uit->second.last_seen = now;
+  }
+}
+
+HealthMonitor::Failures HealthMonitor::Check(SimTime now) {
+  Failures out;
+  const SimDuration timeout = Timeout();
+  for (auto& [id, host] : hosts_) {
+    if (!host.alive) continue;
+    if (now <= host.last_seen + timeout) continue;
+    host.alive = false;
+    HostFailure failure;
+    failure.host = id;
+    for (auto it = umboxes_.begin(); it != umboxes_.end();) {
+      if (it->second.host == id) {
+        failure.umboxes.push_back(it->first);
+        it = umboxes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    out.hosts.push_back(std::move(failure));
+  }
+  for (auto it = umboxes_.begin(); it != umboxes_.end();) {
+    // Hosts flagged above already took their µmboxes with them; whatever
+    // is left sits on a live host and went silent on its own.
+    if (now > it->second.last_seen + timeout) {
+      out.umboxes.push_back(it->first);
+      it = umboxes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+bool HealthMonitor::HostAlive(ServerId host) const {
+  const auto it = hosts_.find(host);
+  return it != hosts_.end() && it->second.alive;
+}
+
+}  // namespace iotsec::control

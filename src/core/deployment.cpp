@@ -25,6 +25,7 @@ Deployment::Deployment(DeploymentOptions options)
   // switch through its cluster port (first host's port doubles as the
   // switch's tunnel port — single-host deployments are the common case).
   int first_cluster_port = -1;
+  std::vector<std::pair<ServerId, int>> host_ports;
   for (int h = 0; h < options_.cluster_hosts; ++h) {
     auto host = std::make_unique<dataplane::UmboxHost>(
         static_cast<ServerId>(h + 1), sim_, options_.host_capacity);
@@ -32,12 +33,16 @@ Deployment::Deployment(DeploymentOptions options)
     const int port = switch_->AttachLink(link, 0);
     host->ConnectUplink(link, 1);
     if (first_cluster_port < 0) first_cluster_port = port;
+    host_ports.emplace_back(host->id(), port);
     cluster_.AddHost(host.get());
     hosts_.push_back(std::move(host));
   }
 
   if (options_.with_iotsec) {
     controller_->ManageSwitch(switch_.get(), first_cluster_port);
+    for (const auto& [host_id, port] : host_ports) {
+      controller_->MapHostPort(switch_.get(), host_id, port);
+    }
     controller_->SetCluster(&cluster_);
     controller_->BindEnvironment(env_.get());
   }
@@ -76,7 +81,33 @@ Deployment::~Deployment() = default;
 
 net::Link* Deployment::NewLink() {
   links_.push_back(std::make_unique<net::Link>(sim_, options_.link));
-  return links_.back().get();
+  net::Link* link = links_.back().get();
+  if (chaos_ != nullptr) chaos_->AddLink(link);
+  return link;
+}
+
+fault::FaultInjector& Deployment::chaos() {
+  if (chaos_ == nullptr) {
+    chaos_ = std::make_unique<fault::FaultInjector>(sim_, options_.chaos_seed);
+    chaos_->AttachCluster(&cluster_);
+    if (options_.with_iotsec) chaos_->AttachController(controller_.get());
+    for (const auto& link : links_) chaos_->AddLink(link.get());
+  }
+  return *chaos_;
+}
+
+Deployment::NetworkTotals Deployment::AggregateLinkStats() const {
+  NetworkTotals totals;
+  for (const auto& link : links_) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const net::LinkStats& s = link->stats(dir);
+      totals.packets += s.packets;
+      totals.bytes += s.bytes;
+      totals.queue_drops += s.drops;
+      totals.lost += s.lost;
+    }
+  }
+  return totals;
 }
 
 devices::DeviceSpec Deployment::MakeSpec(

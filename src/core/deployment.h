@@ -26,6 +26,7 @@
 #include "devices/models.h"
 #include "devices/registry.h"
 #include "env/dynamics.h"
+#include "fault/fault_injector.h"
 #include "learn/model_library.h"
 #include "sdn/switch.h"
 
@@ -44,6 +45,8 @@ struct DeploymentOptions {
   net::LinkConfig link;
   /// Environment tick (dynamics integration step).
   SimDuration env_tick = 500 * kMillisecond;
+  /// Seed for the deployment's FaultInjector (see chaos()).
+  std::uint64_t chaos_seed = 0xC4A05;
 };
 
 class Deployment {
@@ -67,6 +70,10 @@ class Deployment {
   [[nodiscard]] baseline::PerimeterGateway* gateway() {
     return gateway_.get();
   }
+  /// The deployment's fault injector, created and wired (cluster,
+  /// controller, every link built so far — links added later register
+  /// automatically) on first use.
+  [[nodiscard]] fault::FaultInjector& chaos();
   [[nodiscard]] const DeploymentOptions& options() const { return options_; }
   [[nodiscard]] net::Ipv4Prefix lan_prefix() const {
     return net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 24);
@@ -118,6 +125,17 @@ class Deployment {
     return registry_.ByName(name);
   }
 
+  /// Every link's counters summed over both directions — the
+  /// deployment-level view chaos runs assert against.
+  struct NetworkTotals {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t queue_drops = 0;
+    std::uint64_t lost = 0;  // random / flap-induced loss
+  };
+  [[nodiscard]] NetworkTotals AggregateLinkStats() const;
+  [[nodiscard]] std::size_t LinkCount() const { return links_.size(); }
+
  private:
   net::Link* NewLink();
 
@@ -132,6 +150,7 @@ class Deployment {
   dataplane::Cluster cluster_;
   std::unique_ptr<devices::Attacker> attacker_;
   std::unique_ptr<baseline::PerimeterGateway> gateway_;
+  std::unique_ptr<fault::FaultInjector> chaos_;
   learn::ModelLibrary library_ = learn::ModelLibrary::Builtin();
   DeviceId next_device_id_ = 10;
   std::uint32_t next_host_octet_ = 10;

@@ -14,6 +14,7 @@
 #include "devices/attacker.h"        // adversary primitives
 #include "devices/models.h"          // device models
 #include "env/dynamics.h"            // physical environment
+#include "fault/fault_injector.h"    // deterministic chaos / fault plans
 #include "learn/attack_graph.h"      // multi-stage attack analysis
 #include "learn/crowd.h"             // crowd-sourced signature repo
 #include "learn/fuzzer.h"            // cross-device interaction fuzzer

@@ -14,6 +14,10 @@ void UmboxHost::ConnectUplink(net::Link* link, int my_end) {
 Umbox* UmboxHost::Launch(UmboxSpec spec, const ElementContext& ctx,
                          std::string* error,
                          std::function<void()> on_ready) {
+  if (!alive_) {
+    if (error) *error = "host is down";
+    return nullptr;
+  }
   if (load() >= capacity_) {
     if (error) *error = "host at capacity";
     return nullptr;
@@ -44,12 +48,65 @@ bool UmboxHost::Stop(UmboxId id) {
 }
 
 Umbox* UmboxHost::Find(UmboxId id) const {
+  if (!alive_) return nullptr;
   const auto it = boxes_.find(id);
   return it == boxes_.end() ? nullptr : it->second.get();
 }
 
+void UmboxHost::Crash() {
+  if (!alive_) return;
+  alive_ = false;
+  for (auto& [id, box] : boxes_) box->Crash();
+}
+
+bool UmboxHost::CrashUmbox(UmboxId id) {
+  if (!alive_) return false;
+  const auto it = boxes_.find(id);
+  if (it == boxes_.end()) return false;
+  if (it->second->state() == UmboxState::kCrashed) return false;
+  it->second->Crash();
+  return true;
+}
+
+void UmboxHost::StartHeartbeats(HeartbeatSink sink, SimDuration period) {
+  heartbeat_sink_ = std::move(sink);
+  if (heartbeat_ticker_.Pending()) heartbeat_ticker_.Cancel();
+  heartbeat_ticker_ = sim_.Every(period, [this] {
+    if (!alive_ || !heartbeat_sink_) return;  // dead hosts go silent
+    std::vector<UmboxId> running;
+    running.reserve(boxes_.size());
+    for (const auto& [id, box] : boxes_) {
+      const UmboxState s = box->state();
+      if (s == UmboxState::kCrashed || s == UmboxState::kStopped) continue;
+      running.push_back(id);
+    }
+    ++stats_.heartbeats_sent;
+    heartbeat_sink_(id_, std::move(running));
+  });
+}
+
+UmboxHost::UmboxTotals UmboxHost::AggregatedUmboxStats() const {
+  UmboxTotals totals;
+  for (const auto& [id, box] : boxes_) {
+    const Umbox::Stats& s = box->stats();
+    totals.processed += s.processed;
+    totals.queued_during_boot += s.queued_during_boot;
+    totals.dropped_during_boot += s.dropped_during_boot;
+    totals.dropped_queue_full += s.dropped_queue_full;
+    totals.dropped_unqueued += s.dropped_unqueued;
+    totals.dropped_crashed += s.dropped_crashed;
+    totals.crashes += s.crashes;
+    totals.restarts += s.restarts;
+  }
+  return totals;
+}
+
 void UmboxHost::Receive(net::PacketPtr pkt, int port) {
   (void)port;
+  if (!alive_) {
+    ++stats_.dropped_while_dead;
+    return;
+  }
   auto decap = proto::Decapsulate(pkt->data());
   if (!decap ||
       decap->header.direction != proto::TunnelDirection::kToUmbox) {
@@ -99,10 +156,17 @@ void UmboxHost::ReturnFrame(UmboxId vni, SwitchId origin,
 UmboxHost* Cluster::PickHost() const {
   UmboxHost* best = nullptr;
   for (UmboxHost* host : hosts_) {
+    if (!host->alive()) continue;
     if (host->load() >= host->capacity()) continue;
     if (best == nullptr || host->load() < best->load()) best = host;
   }
   return best;
+}
+
+int Cluster::AliveHosts() const {
+  int alive = 0;
+  for (const UmboxHost* host : hosts_) alive += host->alive() ? 1 : 0;
+  return alive;
 }
 
 UmboxHost* Cluster::HostOf(UmboxId id) const {

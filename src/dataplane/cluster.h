@@ -27,6 +27,7 @@ class UmboxHost final : public net::PacketSink {
   [[nodiscard]] ServerId id() const { return id_; }
   [[nodiscard]] int capacity() const { return capacity_; }
   [[nodiscard]] int load() const { return static_cast<int>(boxes_.size()); }
+  [[nodiscard]] bool alive() const { return alive_; }
 
   /// Connects the host's NIC toward the switch fabric.
   void ConnectUplink(net::Link* link, int my_end);
@@ -39,7 +40,24 @@ class UmboxHost final : public net::PacketSink {
   /// Stops and removes a µmbox.
   bool Stop(UmboxId id);
 
+  /// nullptr when the host is down — a dead host serves nothing.
   [[nodiscard]] Umbox* Find(UmboxId id) const;
+
+  /// Simulated host failure (fault injection): every hosted µmbox dies
+  /// with it, the NIC goes silent (tunneled frames blackhole) and
+  /// heartbeats stop, which is how the controller finds out.
+  void Crash();
+
+  /// Crashes one hosted µmbox in place (the host survives). Returns
+  /// false if the id is unknown, the host is down, or it already crashed.
+  bool CrashUmbox(UmboxId id);
+
+  /// Periodic liveness reports to the controller: every `period` an alive
+  /// host calls `sink` with the ids of its non-crashed µmboxes. A µmbox
+  /// missing from the reports (or a host gone silent) is how failures
+  /// are detected — there is no explicit "I died" message.
+  using HeartbeatSink = std::function<void(ServerId, std::vector<UmboxId>)>;
+  void StartHeartbeats(HeartbeatSink sink, SimDuration period);
 
   /// Alerts from any hosted µmbox fan into this sink (set by the
   /// controller), tagged with the µmbox id.
@@ -53,8 +71,24 @@ class UmboxHost final : public net::PacketSink {
     std::uint64_t tunneled_in = 0;
     std::uint64_t returned = 0;
     std::uint64_t no_such_umbox = 0;
+    std::uint64_t dropped_while_dead = 0;  // frames that hit a dead host
+    std::uint64_t heartbeats_sent = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Sum of the hosted µmboxes' own counters (crashed instances
+  /// included), so boot-queue and crash drops surface at host level.
+  struct UmboxTotals {
+    std::uint64_t processed = 0;
+    std::uint64_t queued_during_boot = 0;
+    std::uint64_t dropped_during_boot = 0;
+    std::uint64_t dropped_queue_full = 0;
+    std::uint64_t dropped_unqueued = 0;
+    std::uint64_t dropped_crashed = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+  };
+  [[nodiscard]] UmboxTotals AggregatedUmboxStats() const;
 
  private:
   void ReturnFrame(UmboxId vni, SwitchId origin, net::PacketPtr inner);
@@ -69,6 +103,9 @@ class UmboxHost final : public net::PacketSink {
   /// frames return to the right edge.
   std::map<UmboxId, SwitchId> origin_switch_;
   AlertSink alert_sink_;
+  HeartbeatSink heartbeat_sink_;
+  sim::EventHandle heartbeat_ticker_;
+  bool alive_ = true;
   Stats stats_;
 };
 
@@ -77,8 +114,11 @@ class Cluster {
  public:
   void AddHost(UmboxHost* host) { hosts_.push_back(host); }
 
-  /// Least-loaded host with spare capacity; nullptr when full.
+  /// Least-loaded *alive* host with spare capacity; nullptr when full
+  /// (or when every host is down).
   [[nodiscard]] UmboxHost* PickHost() const;
+
+  [[nodiscard]] int AliveHosts() const;
 
   [[nodiscard]] UmboxHost* HostOf(UmboxId id) const;
   [[nodiscard]] Umbox* Find(UmboxId id) const;

@@ -12,6 +12,17 @@ std::string_view BootModelName(BootModel m) {
   return "unknown";
 }
 
+std::string_view UmboxStateName(UmboxState s) {
+  switch (s) {
+    case UmboxState::kConfigured: return "configured";
+    case UmboxState::kBooting: return "booting";
+    case UmboxState::kRunning: return "running";
+    case UmboxState::kStopped: return "stopped";
+    case UmboxState::kCrashed: return "crashed";
+  }
+  return "unknown";
+}
+
 SimDuration BootLatency(BootModel m) {
   switch (m) {
     case BootModel::kProcess: return 2 * kMillisecond;
@@ -34,7 +45,13 @@ std::unique_ptr<Umbox> Umbox::Create(UmboxSpec spec, const ElementContext& ctx,
 void Umbox::Boot(std::function<void()> on_ready) {
   state_ = UmboxState::kBooting;
   stats_.last_boot_started = ctx_.sim != nullptr ? ctx_.sim->Now() : 0;
-  auto become_ready = [this, on_ready = std::move(on_ready)] {
+  // The generation check kills stale ready-timers: a boot interrupted by
+  // Crash()+Restart() leaves its old timer in the queue, and without the
+  // guard it could fire inside the new boot window, flip the state early
+  // and swallow the new on_ready.
+  const std::uint64_t generation = ++boot_generation_;
+  auto become_ready = [this, generation, on_ready = std::move(on_ready)] {
+    if (generation != boot_generation_) return;   // superseded boot
     if (state_ != UmboxState::kBooting) return;  // stopped meanwhile
     state_ = UmboxState::kRunning;
     stats_.last_ready = ctx_.sim != nullptr ? ctx_.sim->Now() : 0;
@@ -59,17 +76,32 @@ void Umbox::Process(net::PacketPtr pkt) {
       return;
     case UmboxState::kBooting:
     case UmboxState::kConfigured:
-      if (spec_.queue_while_booting &&
-          boot_queue_.size() < spec_.boot_queue_limit) {
+      if (!spec_.queue_while_booting) {
+        ++stats_.dropped_during_boot;
+        ++stats_.dropped_unqueued;
+      } else if (boot_queue_.size() >= spec_.boot_queue_limit) {
+        ++stats_.dropped_during_boot;
+        ++stats_.dropped_queue_full;
+      } else {
         ++stats_.queued_during_boot;
         boot_queue_.push_back(std::move(pkt));
-      } else {
-        ++stats_.dropped_during_boot;
       }
       return;
     case UmboxState::kStopped:
       return;  // silently dropped; the orchestrator already repointed flows
+    case UmboxState::kCrashed:
+      ++stats_.dropped_crashed;
+      return;
   }
+}
+
+void Umbox::Crash() {
+  if (state_ == UmboxState::kCrashed) return;
+  state_ = UmboxState::kCrashed;
+  ++stats_.crashes;
+  // Whatever was queued for the boot that will now never finish is lost.
+  stats_.dropped_crashed += boot_queue_.size();
+  boot_queue_.clear();
 }
 
 void Umbox::DrainBootQueue() {

@@ -37,7 +37,10 @@ enum class UmboxState : std::uint8_t {
   kBooting,
   kRunning,
   kStopped,
+  kCrashed,  // died at runtime; recoverable via Restart()
 };
+
+std::string_view UmboxStateName(UmboxState s);
 
 struct UmboxSpec {
   UmboxId id = 0;
@@ -80,6 +83,11 @@ class Umbox {
 
   void Stop() { state_ = UmboxState::kStopped; }
 
+  /// Simulated runtime failure (fault injection): the instance stops
+  /// processing, queued boot traffic is lost, and any in-flight boot is
+  /// abandoned. A crashed instance accepts Restart() but nothing else.
+  void Crash();
+
   void SetEgress(std::function<void(net::PacketPtr)> egress);
   void SetAlertSink(std::function<void(Alert)> sink);
 
@@ -88,9 +96,15 @@ class Umbox {
   struct Stats {
     std::uint64_t processed = 0;
     std::uint64_t queued_during_boot = 0;
+    /// Total boot-time drops (= dropped_queue_full + dropped_unqueued).
     std::uint64_t dropped_during_boot = 0;
+    std::uint64_t dropped_queue_full = 0;  // boot_queue_limit exceeded
+    std::uint64_t dropped_unqueued = 0;    // queue_while_booting == false
+    /// Frames that arrived at (or were queued in) a crashed instance.
+    std::uint64_t dropped_crashed = 0;
     std::uint64_t reconfigs = 0;
     std::uint64_t restarts = 0;
+    std::uint64_t crashes = 0;
     SimTime last_boot_started = 0;
     SimTime last_ready = 0;
   };
@@ -106,6 +120,9 @@ class Umbox {
   ElementContext ctx_;
   std::unique_ptr<MboxGraph> graph_;
   UmboxState state_ = UmboxState::kConfigured;
+  /// Bumped by every Boot(); stale ready-timers from an interrupted boot
+  /// check it and no-op (see Boot()).
+  std::uint64_t boot_generation_ = 0;
   std::deque<net::PacketPtr> boot_queue_;
   std::function<void(net::PacketPtr)> egress_;
   std::function<void(Alert)> alert_sink_;

@@ -48,6 +48,11 @@ class Link {
   }
   [[nodiscard]] const LinkConfig& config() const { return config_; }
 
+  /// Runtime loss-rate override, used by fault injection to model link
+  /// flaps / loss bursts. Draws still come from the same per-link
+  /// deterministic stream, so flapped runs stay reproducible.
+  void SetLossRate(double rate) { config_.loss_rate = rate; }
+
  private:
   struct Endpoint {
     PacketSink* sink = nullptr;
