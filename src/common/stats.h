@@ -87,4 +87,32 @@ inline FastPathCounters& GlobalFastPath() {
   return counters;
 }
 
+/// Process-wide counters for the DPI engine (dense Aho-Corasick DFA +
+/// shared compiled-ruleset cache — see DESIGN.md "DPI engine"). The
+/// compile counters are the compile-once-deploy-everywhere proof: M
+/// µmboxes loading the same SKU ruleset must show M-1 cache hits and one
+/// compile.
+struct SigCounters {
+  Counter compiles;       // rulesets actually compiled (DFA built)
+  Counter cache_hits;     // compile requests served by the shared cache
+  Counter cache_misses;   // requests that had to compile (incl. expired)
+  Counter cache_expired;  // entries found but already released by all users
+  Counter evaluations;    // RuleSet/CompiledRuleset::Evaluate calls
+  Counter scan_bytes;     // payload bytes run through the DFA
+
+  void Reset() {
+    compiles.Reset();
+    cache_hits.Reset();
+    cache_misses.Reset();
+    cache_expired.Reset();
+    evaluations.Reset();
+    scan_bytes.Reset();
+  }
+};
+
+inline SigCounters& GlobalSig() {
+  static SigCounters counters;
+  return counters;
+}
+
 }  // namespace iotsec

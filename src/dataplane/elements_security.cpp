@@ -62,15 +62,19 @@ bool SignatureMatcher::Configure(const ConfigMap& config, std::string* error) {
   const auto it = config.find("rules");
   if (it == config.end() || it->second == "builtin") {
     rules_.Reset(sig::BuiltinRules());
-    return true;
+  } else {
+    std::vector<std::string> errors;
+    auto parsed = sig::ParseRules(it->second, &errors);
+    if (!errors.empty()) {
+      if (error) *error = "SignatureMatcher: " + errors.front();
+      return false;
+    }
+    rules_.Reset(std::move(parsed));
   }
-  std::vector<std::string> errors;
-  auto parsed = sig::ParseRules(it->second, &errors);
-  if (!errors.empty()) {
-    if (error) *error = "SignatureMatcher: " + errors.front();
-    return false;
-  }
-  rules_.Reset(std::move(parsed));
+  // Pay the compile here, off the packet path. The shared cache makes this
+  // a pointer grab whenever any other µmbox already carries the same
+  // ruleset — a crowd push to M same-SKU µmboxes compiles once.
+  rules_.EnsureCompiled();
   return true;
 }
 

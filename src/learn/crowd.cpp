@@ -144,7 +144,23 @@ void CrowdRepo::ReportOutcome(std::uint64_t signature_id, bool was_correct) {
   }
 }
 
+std::shared_ptr<const sig::CompiledRuleset> CrowdRepo::CompiledFor(
+    const std::string& sku) const {
+  std::vector<sig::Rule> rules;
+  for (const auto& [id, sig] : signatures_) {
+    if (sig.sku == sku && sig.status == SignatureStatus::kAccepted) {
+      rules.push_back(sig.rule);
+    }
+  }
+  return sig::CompiledRulesetCache::Instance().GetOrCompile(rules);
+}
+
 void CrowdRepo::NotifyAccepted(const SharedSignature& signature) {
+  // Repository-side compile-once: warm the shared cache before fan-out so
+  // a push to N deployments pays one automaton build total. The handle is
+  // kept until the next acceptance, holding the cache entry alive through
+  // the push window so every µmbox load of this ruleset is a hit.
+  warm_compile_ = CompiledFor(signature.sku);
   auto it = subscribers_.find(signature.sku);
   if (it == subscribers_.end()) return;
   // Incentive mechanism: order delivery by contribution count, highest

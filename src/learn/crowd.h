@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sig/compiled_ruleset.h"
 #include "sig/rule.h"
 
 namespace iotsec::learn {
@@ -96,6 +97,15 @@ class CrowdRepo {
 
   [[nodiscard]] std::vector<SharedSignature> AcceptedFor(
       const std::string& sku) const;
+
+  /// The accepted ruleset for a SKU, compiled through the process-wide
+  /// CompiledRulesetCache. Called on every acceptance before subscribers
+  /// are notified, so by the time the controller repatches M same-SKU
+  /// µmboxes the compile already exists and every µmbox load is a cache
+  /// hit ("compile once, deploy everywhere").
+  [[nodiscard]] std::shared_ptr<const sig::CompiledRuleset> CompiledFor(
+      const std::string& sku) const;
+
   [[nodiscard]] const SharedSignature* Find(std::uint64_t id) const;
 
   /// Beta-reputation mean for a contributor (0.5 for unknown).
@@ -133,6 +143,9 @@ class CrowdRepo {
   std::map<std::string, std::vector<Subscriber>> subscribers_;  // by sku
   std::map<std::string, ReputationState> reputation_;
   std::map<std::string, std::uint64_t> contributions_;  // by subscriber name
+  /// Latest accepted SKU's compile, pinned so the cache entry survives
+  /// the push window (see NotifyAccepted).
+  std::shared_ptr<const sig::CompiledRuleset> warm_compile_;
   std::uint64_t next_id_ = 1;
   Stats stats_;
 };

@@ -7,56 +7,55 @@ namespace iotsec::sig {
 
 int AhoCorasick::AddPattern(std::string_view pattern, bool nocase) {
   if (pattern.empty()) return -1;
-  std::string text(pattern);
-  if (nocase) {
-    for (char& c : text) {
-      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 32);
-    }
-    any_nocase_ = true;
-  }
-  patterns_.push_back(Pattern{std::move(text), nocase});
+  if (nocase) any_nocase_ = true;
+  patterns_.push_back(Pattern{std::string(pattern), nocase});
   built_ = false;
   return static_cast<int>(patterns_.size()) - 1;
 }
 
 void AhoCorasick::Build() {
   nodes_.assign(1, Node{});
-  // Trie construction. For case-insensitive patterns we insert the folded
-  // text and fold input bytes during matching — but folding input would
-  // break case-sensitive patterns containing uppercase bytes. So when any
-  // nocase pattern exists, we insert case-sensitive patterns verbatim and
-  // nocase patterns in *both* paths implicitly by matching folded input
-  // against a dual-edge trie: each nocase byte adds edges for both cases.
+  // Fold-and-verify trie construction. If any pattern is nocase, the trie
+  // is built over case-folded text for *every* pattern and scans fold each
+  // input byte before the transition; a trie hit for a case-sensitive
+  // pattern is then confirmed against its original bytes (VerifyAt). This
+  // keeps the automaton O(total pattern length) — expanding case variants
+  // into distinct paths costs 2^len states per nocase pattern — and the
+  // fold/verify overhead vanishes entirely for all-case-sensitive
+  // rulesets, where the trie is built verbatim.
+  fold_input_ = any_nocase_;
+  verify_.assign(patterns_.size(), 0);
   for (std::size_t pid = 0; pid < patterns_.size(); ++pid) {
     const Pattern& pat = patterns_[pid];
-    // Enumerate trie paths: for nocase patterns each alphabetic byte has
-    // two possible input bytes. We add edges for both at each step.
-    std::vector<std::int32_t> frontier{0};
+    std::int32_t node = 0;
+    std::int32_t depth = 0;
     for (unsigned char c : pat.text) {
-      std::vector<std::int32_t> next_frontier;
-      std::vector<unsigned char> variants;
-      variants.push_back(c);
-      if (pat.nocase && c >= 'a' && c <= 'z') {
-        variants.push_back(static_cast<unsigned char>(c - 32));
+      if (fold_input_) c = kCaseFold[c];
+      ++depth;
+      std::int32_t next = nodes_[node].next[c];
+      if (next < 0) {
+        // emplace_back may reallocate: finish it before indexing nodes_.
+        nodes_.emplace_back();
+        nodes_.back().depth = depth;
+        next = static_cast<std::int32_t>(nodes_.size()) - 1;
+        nodes_[node].next[c] = next;
       }
-      for (std::int32_t node : frontier) {
-        for (unsigned char v : variants) {
-          if (nodes_[node].next[v] < 0) {
-            nodes_[node].next[v] = static_cast<std::int32_t>(nodes_.size());
-            nodes_.emplace_back();
-          }
-          next_frontier.push_back(nodes_[node].next[v]);
+      node = next;
+    }
+    nodes_[node].outputs.push_back(static_cast<int>(pid));
+    if (fold_input_ && !pat.nocase) {
+      for (unsigned char c : pat.text) {
+        if (kCaseFold[c] != c) {
+          // Contains an uppercase byte the fold erased — or, symmetric
+          // case below, a lowercase byte uppercase input would reach.
+          verify_[pid] = 1;
+          break;
+        }
+        if (c >= 'a' && c <= 'z') {
+          verify_[pid] = 1;
+          break;
         }
       }
-      // Deduplicate to keep the frontier small.
-      std::sort(next_frontier.begin(), next_frontier.end());
-      next_frontier.erase(
-          std::unique(next_frontier.begin(), next_frontier.end()),
-          next_frontier.end());
-      frontier = std::move(next_frontier);
-    }
-    for (std::int32_t node : frontier) {
-      nodes_[node].outputs.push_back(static_cast<int>(pid));
     }
   }
 
@@ -96,9 +95,10 @@ std::vector<AhoCorasick::Match> AhoCorasick::FindAll(
   std::vector<Match> out;
   std::int32_t state = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    state = nodes_[state].next[data[i]];
+    const std::uint8_t byte = fold_input_ ? kCaseFold[data[i]] : data[i];
+    state = nodes_[state].next[byte];
     for (int pid : nodes_[state].outputs) {
-      out.push_back(Match{pid, i + 1});
+      if (VerifyAt(data, i + 1, pid)) out.push_back(Match{pid, i + 1});
     }
   }
   return out;
@@ -108,10 +108,11 @@ std::size_t AhoCorasick::MarkMatches(std::span<const std::uint8_t> data,
                                      std::vector<bool>& seen) const {
   std::size_t hits = 0;
   std::int32_t state = 0;
-  for (const std::uint8_t byte : data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint8_t byte = fold_input_ ? kCaseFold[data[i]] : data[i];
     state = nodes_[state].next[byte];
     for (int pid : nodes_[state].outputs) {
-      if (!seen[static_cast<std::size_t>(pid)]) {
+      if (!seen[static_cast<std::size_t>(pid)] && VerifyAt(data, i + 1, pid)) {
         seen[static_cast<std::size_t>(pid)] = true;
         ++hits;
       }
@@ -122,9 +123,12 @@ std::size_t AhoCorasick::MarkMatches(std::span<const std::uint8_t> data,
 
 bool AhoCorasick::MatchesAny(std::span<const std::uint8_t> data) const {
   std::int32_t state = 0;
-  for (const std::uint8_t byte : data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint8_t byte = fold_input_ ? kCaseFold[data[i]] : data[i];
     state = nodes_[state].next[byte];
-    if (!nodes_[state].outputs.empty()) return true;
+    for (int pid : nodes_[state].outputs) {
+      if (VerifyAt(data, i + 1, pid)) return true;
+    }
   }
   return false;
 }

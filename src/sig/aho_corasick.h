@@ -15,6 +15,15 @@
 
 namespace iotsec::sig {
 
+/// ASCII case-fold table: 'A'..'Z' map to 'a'..'z', all other bytes map to
+/// themselves. One L1-resident 256-byte lookup per scanned byte.
+inline constexpr std::array<std::uint8_t, 256> kCaseFold = [] {
+  std::array<std::uint8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) table[i] = static_cast<std::uint8_t>(i);
+  for (int i = 'A'; i <= 'Z'; ++i) table[i] = static_cast<std::uint8_t>(i + 32);
+  return table;
+}();
+
 class AhoCorasick {
  public:
   /// Adds a pattern before Build(); returns its id. Empty patterns are
@@ -45,28 +54,76 @@ class AhoCorasick {
   [[nodiscard]] std::size_t PatternCount() const { return patterns_.size(); }
   [[nodiscard]] bool Built() const { return built_; }
 
+  // --- Introspection for DenseDfa::Compile (valid only after Build()). ---
+  // After Build() every node's `next` is goto-closed (a full DFA row), the
+  // node's outputs include everything reachable through failure links, and
+  // `depth` is the node's trie depth.
+  //
+  // Mixed-case rulesets use fold-and-verify (the Snort MPSE design): when
+  // any nocase pattern exists the trie is built over case-folded text for
+  // *all* patterns, scans fold each input byte through kCaseFold before the
+  // transition, and candidate matches of case-sensitive patterns are
+  // confirmed with an exact byte compare at the match offset. This keeps
+  // the automaton O(total pattern length) — the alternative (expanding
+  // every case spelling into its own path) is 2^len states per nocase
+  // pattern — while staying exactly match-for-match correct.
+  [[nodiscard]] bool FoldsInput() const { return fold_input_; }
+  [[nodiscard]] bool PatternNeedsVerify(int pid) const {
+    return verify_[static_cast<std::size_t>(pid)] != 0;
+  }
+  [[nodiscard]] const std::string& PatternText(int pid) const {
+    return patterns_[static_cast<std::size_t>(pid)].text;
+  }
+  [[nodiscard]] std::size_t NodeCount() const { return nodes_.size(); }
+  [[nodiscard]] std::int32_t NodeTransition(std::size_t node,
+                                            std::uint8_t byte) const {
+    return nodes_[node].next[byte];
+  }
+  [[nodiscard]] std::int32_t NodeFail(std::size_t node) const {
+    return nodes_[node].fail;
+  }
+  [[nodiscard]] std::int32_t NodeDepth(std::size_t node) const {
+    return nodes_[node].depth;
+  }
+  [[nodiscard]] const std::vector<int>& NodeOutputs(std::size_t node) const {
+    return nodes_[node].outputs;
+  }
+
  private:
   struct Node {
     std::array<std::int32_t, 256> next;
     std::int32_t fail = 0;
+    std::int32_t depth = 0;
     std::vector<int> outputs;  // pattern ids ending at this node
     Node() { next.fill(-1); }
   };
 
   struct Pattern {
-    std::string text;  // case-folded if nocase
+    std::string text;  // original bytes (verification compares against these)
     bool nocase;
   };
 
-  static std::uint8_t Fold(std::uint8_t c, bool nocase) {
-    if (nocase && c >= 'A' && c <= 'Z') return c + 32;
-    return c;
+  /// True unless `pid` needs case verification and `data[end-len, end)`
+  /// differs byte-for-byte from the original pattern text.
+  [[nodiscard]] bool VerifyAt(std::span<const std::uint8_t> data,
+                              std::size_t end, int pid) const {
+    if (verify_[static_cast<std::size_t>(pid)] == 0) return true;
+    const std::string& text = patterns_[static_cast<std::size_t>(pid)].text;
+    const std::uint8_t* at = data.data() + (end - text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (at[i] != static_cast<std::uint8_t>(text[i])) return false;
+    }
+    return true;
   }
 
   std::vector<Node> nodes_{1};
   std::vector<Pattern> patterns_;
+  /// Per-pattern: 1 if a trie hit must be confirmed against the original
+  /// bytes (case-sensitive pattern in a folding automaton).
+  std::vector<std::uint8_t> verify_;
   bool built_ = false;
   bool any_nocase_ = false;
+  bool fold_input_ = false;  // set by Build() when any pattern is nocase
 };
 
 /// Reference implementation: scans each pattern independently (memmem

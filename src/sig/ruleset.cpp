@@ -4,63 +4,32 @@ namespace iotsec::sig {
 
 void RuleSet::Reset(std::vector<Rule> rules) {
   rules_ = std::move(rules);
-  Compile();
+  compiled_.reset();
+  dirty_ = true;
 }
 
 void RuleSet::Add(Rule rule) {
   rules_.push_back(std::move(rule));
-  Compile();
+  dirty_ = true;
 }
 
-void RuleSet::Compile() {
-  automaton_ = AhoCorasick();
-  pattern_owner_.clear();
-  for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
-    const Rule& rule = rules_[ri];
-    for (std::size_t ci = 0; ci < rule.contents.size(); ++ci) {
-      const int pid = automaton_.AddPattern(rule.contents[ci].bytes,
-                                            rule.contents[ci].nocase);
-      if (pid >= 0) pattern_owner_.emplace_back(ri, ci);
-    }
-  }
-  automaton_.Build();
+void RuleSet::Add(std::vector<Rule> rules) {
+  rules_.insert(rules_.end(), std::make_move_iterator(rules.begin()),
+                std::make_move_iterator(rules.end()));
+  dirty_ = true;
 }
 
-RuleVerdict RuleSet::Evaluate(const proto::ParsedFrame& frame) const {
-  // One payload scan marks every content pattern present.
-  std::vector<bool> seen(pattern_owner_.size(), false);
-  if (!pattern_owner_.empty() && !frame.payload.empty()) {
-    automaton_.MarkMatches(frame.payload, seen);
-  }
-  std::vector<std::size_t> content_hits(rules_.size(), 0);
-  for (std::size_t pid = 0; pid < seen.size(); ++pid) {
-    if (seen[pid]) ++content_hits[pattern_owner_[pid].first];
-  }
+void RuleSet::EnsureCompiled() {
+  if (!dirty_ && compiled_ != nullptr) return;
+  // The old compile (if any) stays alive for anyone still holding it —
+  // in-flight evaluations and sibling µmboxes are unaffected.
+  compiled_ = CompiledRulesetCache::Instance().GetOrCompile(rules_);
+  dirty_ = false;
+}
 
-  bool any_pass = false;
-  bool any_block = false;
-  bool any_alert = false;
-  RuleVerdict verdict;
-  for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
-    const Rule& rule = rules_[ri];
-    if (content_hits[ri] != rule.contents.size()) continue;
-    if (!rule.HeaderMatches(frame)) continue;
-    verdict.matched_sids.push_back(rule.sid);
-    switch (rule.action) {
-      case RuleAction::kPass: any_pass = true; break;
-      case RuleAction::kBlock: any_block = true; break;
-      case RuleAction::kAlert: any_alert = true; break;
-    }
-  }
-  // Whitelist wins over block wins over alert; no match defaults to pass.
-  if (any_pass || (!any_block && !any_alert)) {
-    verdict.action = RuleAction::kPass;
-  } else if (any_block) {
-    verdict.action = RuleAction::kBlock;
-  } else {
-    verdict.action = RuleAction::kAlert;
-  }
-  return verdict;
+RuleVerdict RuleSet::Evaluate(const proto::ParsedFrame& frame) {
+  EnsureCompiled();
+  return compiled_->Evaluate(frame, scratch_);
 }
 
 }  // namespace iotsec::sig

@@ -1,57 +1,64 @@
-// Compiled ruleset: the detection engine inside the SignatureMatcher
-// µmbox element.
+// RuleSet: the detection engine inside the SignatureMatcher µmbox element.
 //
-// All content patterns across all rules share one Aho-Corasick automaton,
-// so per-packet cost is one payload scan plus per-candidate-rule predicate
-// checks — the same architecture real IDSes use.
+// A thin mutable facade over the immutable CompiledRuleset: rule edits are
+// buffered and compiled lazily (one compile per batch, not per rule), the
+// compile itself is fetched from the process-wide CompiledRulesetCache so
+// every µmbox carrying the same SKU ruleset shares one automaton, and
+// evaluation reuses per-instance scratch so the per-packet hot path does
+// not allocate.
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "sig/aho_corasick.h"
+#include "sig/compiled_ruleset.h"
 #include "sig/rule.h"
 
 namespace iotsec::sig {
-
-struct RuleVerdict {
-  /// Highest-severity action across matched rules (kBlock > kAlert).
-  RuleAction action = RuleAction::kPass;
-  /// sids of every matched rule, in rule order.
-  std::vector<std::uint32_t> matched_sids;
-
-  [[nodiscard]] bool ShouldBlock() const {
-    return action == RuleAction::kBlock;
-  }
-  [[nodiscard]] bool Matched() const { return !matched_sids.empty(); }
-};
 
 class RuleSet {
  public:
   RuleSet() = default;
   explicit RuleSet(std::vector<Rule> rules) { Reset(std::move(rules)); }
 
-  /// Replaces all rules and recompiles the automaton. µmboxes call this on
-  /// hot reconfiguration — it is the "frequent reconfigurations" cost the
-  /// paper worries about, measured in bench A1.
+  /// Replaces all rules. The compile is deferred to the next Evaluate /
+  /// EnsureCompiled and served from the shared cache, so µmbox hot
+  /// reconfiguration with an already-deployed ruleset is a pointer swap.
   void Reset(std::vector<Rule> rules);
 
-  /// Adds one rule and recompiles.
+  /// Adds one rule. Deferred-compile: N single Adds cost one compile at
+  /// the next Evaluate, not N full rebuilds (the seed engine's O(n²) load
+  /// path).
   void Add(Rule rule);
 
-  /// Evaluates every rule against a parsed frame.
-  [[nodiscard]] RuleVerdict Evaluate(const proto::ParsedFrame& frame) const;
+  /// Batch insert; same deferred compile.
+  void Add(std::vector<Rule> rules);
+
+  /// Compiles pending edits now (no-op when clean). Called automatically
+  /// by Evaluate; exposed so load paths can pay the compile at a chosen
+  /// point.
+  void EnsureCompiled();
+
+  /// Evaluates every rule against a parsed frame. Allocation-free beyond
+  /// the verdict's matched-sid list (empty in the common no-match case).
+  [[nodiscard]] RuleVerdict Evaluate(const proto::ParsedFrame& frame);
 
   [[nodiscard]] std::size_t RuleCount() const { return rules_.size(); }
   [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
 
- private:
-  void Compile();
+  /// The current shared compile (nullptr until first EnsureCompiled, or
+  /// stale while edits are pending). Identity comparison across RuleSets
+  /// proves cache sharing in tests.
+  [[nodiscard]] std::shared_ptr<const CompiledRuleset> compiled() const {
+    return compiled_;
+  }
+  [[nodiscard]] bool CompilePending() const { return dirty_; }
 
+ private:
   std::vector<Rule> rules_;
-  AhoCorasick automaton_;
-  /// pattern id -> (rule index, content index) so matches can be credited.
-  std::vector<std::pair<std::size_t, std::size_t>> pattern_owner_;
+  std::shared_ptr<const CompiledRuleset> compiled_;
+  EvalScratch scratch_;
+  bool dirty_ = false;
 };
 
 }  // namespace iotsec::sig

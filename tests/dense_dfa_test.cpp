@@ -1,0 +1,187 @@
+// Property tests: the dense DFA, the node-based automaton and the naive
+// per-pattern scanner must agree match-for-match on adversarial pattern
+// sets — nocase, overlapping patterns, patterns that are prefixes/suffixes
+// of each other, empty payloads, and 0x00/0xFF payload bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "sig/aho_corasick.h"
+#include "sig/dense_dfa.h"
+
+namespace iotsec::sig {
+namespace {
+
+using MatchList = std::vector<AhoCorasick::Match>;
+
+MatchList Sorted(MatchList matches) {
+  std::sort(matches.begin(), matches.end(), [](const auto& a, const auto& b) {
+    if (a.end_offset != b.end_offset) return a.end_offset < b.end_offset;
+    return a.pattern_id < b.pattern_id;
+  });
+  return matches;
+}
+
+void ExpectSameMatches(const MatchList& got, const MatchList& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].pattern_id, want[i].pattern_id) << context << " #" << i;
+    EXPECT_EQ(got[i].end_offset, want[i].end_offset) << context << " #" << i;
+  }
+}
+
+/// Builds all three engines over the same pattern list and checks them
+/// against each other on `text`.
+void CheckThreeWay(const std::vector<std::pair<std::string, bool>>& patterns,
+                   const Bytes& text, const std::string& context) {
+  AhoCorasick ac;
+  NaiveMatcher naive;
+  for (const auto& [p, nocase] : patterns) {
+    ac.AddPattern(p, nocase);
+    naive.AddPattern(p, nocase);
+  }
+  ac.Build();
+  // Both compiled layouts: the class-compressed table (default) and the
+  // hybrid dense-row/delta-edge fallback (forced via compact_max_states=0).
+  const DenseDfa dfa = DenseDfa::Compile(ac);
+  const DenseDfa hybrid = DenseDfa::Compile(ac, /*compact_max_states=*/0);
+  EXPECT_TRUE(dfa.Compact()) << context;
+  EXPECT_FALSE(hybrid.Compact()) << context;
+
+  const MatchList want = Sorted(naive.FindAll(text));
+  ExpectSameMatches(Sorted(ac.FindAll(text)), want, context + " [node]");
+  ExpectSameMatches(Sorted(dfa.FindAll(text)), want, context + " [dense]");
+  ExpectSameMatches(Sorted(hybrid.FindAll(text)), want,
+                    context + " [hybrid]");
+
+  // MarkMatches must flag exactly the distinct pattern ids of FindAll.
+  std::vector<bool> want_seen(ac.PatternCount(), false);
+  for (const auto& m : want) {
+    want_seen[static_cast<std::size_t>(m.pattern_id)] = true;
+  }
+  std::vector<bool> node_seen(ac.PatternCount(), false);
+  std::vector<bool> dense_seen(ac.PatternCount(), false);
+  std::vector<bool> hybrid_seen(ac.PatternCount(), false);
+  ac.MarkMatches(text, node_seen);
+  dfa.MarkMatches(text, dense_seen);
+  hybrid.MarkMatches(text, hybrid_seen);
+  EXPECT_EQ(node_seen, want_seen) << context;
+  EXPECT_EQ(dense_seen, want_seen) << context;
+  EXPECT_EQ(hybrid_seen, want_seen) << context;
+  EXPECT_EQ(dfa.MatchesAny(text), !want.empty()) << context;
+  EXPECT_EQ(hybrid.MatchesAny(text), !want.empty()) << context;
+}
+
+TEST(DenseDfaTest, PrefixSuffixOverlapFamily) {
+  // Every pattern is a prefix or suffix of another — failure-link stress.
+  const std::vector<std::pair<std::string, bool>> patterns = {
+      {"a", false},    {"ab", false},   {"abc", false}, {"abcd", false},
+      {"bcd", false},  {"cd", false},   {"d", false},   {"dabc", false},
+      {"AB", true},    {"aBcD", true},
+  };
+  CheckThreeWay(patterns, ToBytes("abcdabcdxxabcd"), "prefix-suffix");
+  CheckThreeWay(patterns, ToBytes("ABCDabCD"), "prefix-suffix-case");
+  CheckThreeWay(patterns, {}, "prefix-suffix-empty");
+}
+
+TEST(DenseDfaTest, HighAndLowBytes) {
+  const std::string ff(2, static_cast<char>(0xFF));
+  const std::string zero("\x00\x00", 2);
+  const std::string mixed = std::string("\x00", 1) + "\xFFz";
+  const std::vector<std::pair<std::string, bool>> patterns = {
+      {ff, false}, {zero, false}, {mixed, false}, {"z", true}};
+  Bytes text;
+  for (const std::uint8_t b : {0xFF, 0xFF, 0x00, 0x00, 0xFF, 0x7A, 0x00}) {
+    text.push_back(b);
+  }
+  CheckThreeWay(patterns, text, "high-low-bytes");
+}
+
+TEST(DenseDfaTest, EmptyAutomatonMatchesNothing) {
+  AhoCorasick ac;
+  const DenseDfa dfa = DenseDfa::Compile(ac);
+  EXPECT_TRUE(dfa.Empty());
+  EXPECT_TRUE(dfa.FindAll(ToBytes("anything")).empty());
+  EXPECT_FALSE(dfa.MatchesAny(ToBytes("anything")));
+}
+
+TEST(DenseDfaTest, NocaseTrieStaysLinear) {
+  // Regression: the seed trie builder expanded every case variant of a
+  // nocase pattern into its own path — 2^16 nodes for this pattern. The
+  // fold-and-verify construction keeps it O(len).
+  AhoCorasick ac;
+  ac.AddPattern("aaaabbbbccccdddd", /*nocase=*/true);
+  ac.Build();
+  EXPECT_LE(ac.NodeCount(), 32u);
+
+  NaiveMatcher naive;
+  naive.AddPattern("aaaabbbbccccdddd", /*nocase=*/true);
+  const DenseDfa dfa = DenseDfa::Compile(ac);
+  const Bytes text = ToBytes("xxAaAabBbBCcCcDdDdyy");
+  ExpectSameMatches(Sorted(dfa.FindAll(text)), Sorted(naive.FindAll(text)),
+                    "nocase-linear");
+}
+
+class DenseDfaPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Randomized three-way equivalence over a small alphabet salted with
+// 0x00/0xFF bytes; small alphabets maximize overlap, shared prefixes and
+// failure-link traffic.
+TEST_P(DenseDfaPropertyTest, ThreeWayEquivalence) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 15; ++round) {
+    std::vector<std::pair<std::string, bool>> patterns;
+    const int n_patterns = 1 + static_cast<int>(rng.NextBelow(14));
+    for (int p = 0; p < n_patterns; ++p) {
+      const auto len = 1 + rng.NextBelow(7);
+      std::string pat;
+      for (std::size_t i = 0; i < len; ++i) {
+        const auto roll = rng.NextBelow(10);
+        if (roll < 7) {
+          pat += static_cast<char>('a' + rng.NextBelow(3));
+        } else if (roll < 8) {
+          pat += static_cast<char>(rng.NextBool(0.5) ? 0x00 : 0xFF);
+        } else {
+          pat += static_cast<char>('A' + rng.NextBelow(3));
+        }
+      }
+      patterns.emplace_back(std::move(pat), rng.NextBool(0.35));
+    }
+    // Some rounds duplicate a pattern with flipped case sensitivity.
+    if (rng.NextBool(0.3)) {
+      auto dup = patterns[rng.NextBelow(patterns.size())];
+      dup.second = !dup.second;
+      patterns.push_back(std::move(dup));
+    }
+
+    const auto text_len = rng.NextBelow(160);  // sometimes empty
+    Bytes text;
+    for (std::size_t i = 0; i < text_len; ++i) {
+      const auto roll = rng.NextBelow(10);
+      if (roll < 7) {
+        const char c = static_cast<char>('a' + rng.NextBelow(3));
+        text.push_back(static_cast<std::uint8_t>(
+            rng.NextBool(0.25) ? std::toupper(c) : c));
+      } else if (roll < 8) {
+        text.push_back(rng.NextBool(0.5) ? 0x00 : 0xFF);
+      } else {
+        text.push_back(static_cast<std::uint8_t>('A' + rng.NextBelow(3)));
+      }
+    }
+    CheckThreeWay(patterns, text,
+                  "seed=" + std::to_string(GetParam()) +
+                      " round=" + std::to_string(round));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseDfaPropertyTest,
+                         ::testing::Values(11, 23, 37, 53, 71, 97, 131));
+
+}  // namespace
+}  // namespace iotsec::sig

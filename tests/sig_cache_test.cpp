@@ -1,0 +1,172 @@
+// Tests for the process-wide compiled-ruleset cache: identical rule lists
+// share one compile, differing lists do not, hot replacement leaves
+// in-flight users on their old compile, and the crowd push path pre-warms
+// the cache so µmbox loads are hits.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "learn/crowd.h"
+#include "net/address.h"
+#include "proto/frame.h"
+#include "proto/transport.h"
+#include "sig/compiled_ruleset.h"
+#include "sig/corpus.h"
+#include "sig/ruleset.h"
+
+namespace iotsec::sig {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+class SigCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CompiledRulesetCache::Instance().Clear();
+    GlobalSig().Reset();
+  }
+};
+
+std::vector<Rule> SomeRules(std::string_view content) {
+  auto rules = ParseRules("alert tcp any any -> any any (sid:900; content:\"" +
+                          std::string(content) + "\"; )\n");
+  EXPECT_EQ(rules.size(), 1u);
+  return rules;
+}
+
+proto::ParsedFrame MustParse(const Bytes& wire) {
+  auto f = proto::ParseFrame(wire);
+  EXPECT_TRUE(f.has_value());
+  return *f;
+}
+
+Bytes TcpPayloadFrame(std::string_view payload) {
+  return proto::BuildTcpFrame(
+      MacAddress::FromId(1), MacAddress::FromId(2), Ipv4Address(10, 0, 0, 1),
+      Ipv4Address(10, 0, 0, 2),
+      proto::TcpHeader{.src_port = 1111, .dst_port = 80,
+                       .flags = proto::TcpFlags::kPsh | proto::TcpFlags::kAck},
+      ToBytes(payload));
+}
+
+TEST_F(SigCacheTest, IdenticalRuleListsShareOneCompile) {
+  constexpr std::size_t kUmboxes = 8;
+  std::vector<RuleSet> fleet(kUmboxes);
+  for (auto& rs : fleet) {
+    rs.Reset(BuiltinRules());
+    rs.EnsureCompiled();
+  }
+  EXPECT_EQ(GlobalSig().compiles.Value(), 1u);
+  EXPECT_EQ(GlobalSig().cache_misses.Value(), 1u);
+  EXPECT_EQ(GlobalSig().cache_hits.Value(), kUmboxes - 1);
+  for (std::size_t i = 1; i < kUmboxes; ++i) {
+    EXPECT_EQ(fleet[i].compiled().get(), fleet[0].compiled().get());
+  }
+}
+
+TEST_F(SigCacheTest, DifferingRuleListsDoNotShare) {
+  RuleSet a(SomeRules("alpha"));
+  RuleSet b(SomeRules("beta"));
+  a.EnsureCompiled();
+  b.EnsureCompiled();
+  EXPECT_EQ(GlobalSig().compiles.Value(), 2u);
+  EXPECT_EQ(GlobalSig().cache_hits.Value(), 0u);
+  EXPECT_NE(a.compiled().get(), b.compiled().get());
+  EXPECT_EQ(CompiledRulesetCache::Instance().LiveEntryCount(), 2u);
+}
+
+TEST_F(SigCacheTest, ReplacementLeavesInFlightEvaluationsIntact) {
+  RuleSet rs(SomeRules("needle"));
+  const Bytes hit_wire = TcpPayloadFrame("xx needle xx");
+  EXPECT_TRUE(rs.Evaluate(MustParse(hit_wire)).Matched());
+
+  // An in-flight evaluator holds the old compile while a crowd push swaps
+  // the RuleSet to a new ruleset.
+  std::shared_ptr<const CompiledRuleset> old_compile = rs.compiled();
+  rs.Reset(SomeRules("other"));
+  EXPECT_TRUE(rs.CompilePending());
+  EXPECT_FALSE(rs.Evaluate(MustParse(hit_wire)).Matched());  // new rules
+  EXPECT_FALSE(rs.CompilePending());
+
+  // The old compile still works, unchanged, for whoever kept it.
+  EvalScratch scratch;
+  EXPECT_TRUE(old_compile->Evaluate(MustParse(hit_wire), scratch).Matched());
+  EXPECT_NE(old_compile.get(), rs.compiled().get());
+}
+
+TEST_F(SigCacheTest, ExpiredEntriesRecompile) {
+  {
+    RuleSet rs(SomeRules("gone"));
+    rs.EnsureCompiled();
+    EXPECT_EQ(CompiledRulesetCache::Instance().LiveEntryCount(), 1u);
+  }
+  // Last user gone: the weak entry is dead and a fresh request recompiles.
+  RuleSet again(SomeRules("gone"));
+  again.EnsureCompiled();
+  EXPECT_EQ(GlobalSig().compiles.Value(), 2u);
+  EXPECT_EQ(GlobalSig().cache_expired.Value(), 1u);
+  EXPECT_EQ(GlobalSig().cache_hits.Value(), 0u);
+}
+
+TEST_F(SigCacheTest, DeferredAndBatchedAddCompileOnce) {
+  auto rules = ParseRules(
+      "alert tcp any any -> any any (sid:1; content:\"one\"; )\n"
+      "alert tcp any any -> any any (sid:2; content:\"two\"; )\n"
+      "alert tcp any any -> any any (sid:3; content:\"three\"; )\n");
+  ASSERT_EQ(rules.size(), 3u);
+
+  RuleSet rs;
+  for (const auto& rule : rules) rs.Add(rule);  // three single Adds
+  EXPECT_TRUE(rs.CompilePending());
+  EXPECT_EQ(GlobalSig().compiles.Value(), 0u);  // nothing compiled yet
+
+  const Bytes wire = TcpPayloadFrame("one and two and three");
+  EXPECT_EQ(rs.Evaluate(MustParse(wire)).matched_sids.size(), 3u);
+  EXPECT_EQ(GlobalSig().compiles.Value(), 1u);  // one compile for the batch
+
+  RuleSet batched;
+  batched.Add(rules);  // vector overload
+  batched.EnsureCompiled();
+  EXPECT_EQ(batched.RuleCount(), 3u);
+  // Same rule list -> served from cache, still one compile total.
+  EXPECT_EQ(GlobalSig().compiles.Value(), 1u);
+  EXPECT_EQ(GlobalSig().cache_hits.Value(), 1u);
+}
+
+TEST_F(SigCacheTest, CrowdAcceptPrewarmsTheCache) {
+  learn::CrowdRepo repo;
+  repo.Subscribe("cam-sku", "site-a", [](const learn::SharedSignature&) {});
+
+  learn::SignatureReport report;
+  report.sku = "cam-sku";
+  report.rule_text =
+      "block tcp any any -> any 80 (msg:\"exploit\"; sid:7001; "
+      "content:\"evil-payload\"; )";
+  report.contributor = "site-b";
+  const auto published = repo.Publish(report);
+  ASSERT_TRUE(published.accepted_for_review);
+  for (const char* voter : {"v1", "v2", "v3", "v4", "v5", "v6"}) {
+    repo.Vote(published.id, voter, /*up=*/true);
+  }
+  ASSERT_EQ(repo.stats().accepted, 1u);
+
+  // Acceptance compiled the SKU ruleset once (the pre-warm)...
+  EXPECT_EQ(GlobalSig().compiles.Value(), 1u);
+
+  // ...so every µmbox that now loads the same accepted ruleset is a hit.
+  const auto accepted = repo.AcceptedFor("cam-sku");
+  ASSERT_EQ(accepted.size(), 1u);
+  std::vector<Rule> pushed;
+  for (const auto& sig : accepted) pushed.push_back(sig.rule);
+  RuleSet umbox_a(pushed);
+  RuleSet umbox_b(pushed);
+  umbox_a.EnsureCompiled();
+  umbox_b.EnsureCompiled();
+  EXPECT_EQ(GlobalSig().compiles.Value(), 1u);
+  EXPECT_EQ(GlobalSig().cache_hits.Value(), 2u);  // both µmbox loads hit
+  EXPECT_EQ(umbox_a.compiled().get(), umbox_b.compiled().get());
+  EXPECT_EQ(umbox_a.compiled().get(), repo.CompiledFor("cam-sku").get());
+}
+
+}  // namespace
+}  // namespace iotsec::sig
