@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -53,15 +54,22 @@ class SampleStats {
   double sum_ = 0;
 };
 
-/// Simple monotonically increasing counter map keyed by small enums.
+/// Monotonically increasing counter. Relaxed-atomic: the process-wide
+/// counter structs below are incremented from paths that may run
+/// concurrently (a shared CompiledRuleset is evaluated read-only by many
+/// µmboxes at once), so a plain increment would race and lose counts.
 class Counter {
  public:
-  void Inc(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t Value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Process-wide counters for the packet fast path (parse-once header

@@ -6,8 +6,13 @@
 
 namespace iotsec::sig {
 
+// Starts at 1 so EvalScratch's default bound_id of 0 never matches a
+// live compile.
+std::atomic<std::uint64_t> CompiledRuleset::next_id_{1};
+
 CompiledRuleset::CompiledRuleset(std::vector<Rule> rules)
-    : rules_(std::move(rules)) {
+    : id_(next_id_.fetch_add(1, std::memory_order_relaxed)),
+      rules_(std::move(rules)) {
   AhoCorasick automaton;
   required_.reserve(rules_.size());
   for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
@@ -35,13 +40,19 @@ CompiledRuleset::CompiledRuleset(std::vector<Rule> rules)
 RuleVerdict CompiledRuleset::Evaluate(const proto::ParsedFrame& frame,
                                       EvalScratch& scratch) const {
   GlobalSig().evaluations.Inc();
-  if (scratch.bound_to != this) {
+  // Rebind on the compile's unique id — never its address, which the
+  // allocator may hand to a successor compile. The size checks are a
+  // belt-and-braces guard: even with a forged/corrupted binding the
+  // epoch-mark arrays must fit this ruleset before we write through them.
+  if (scratch.bound_id != id_ ||
+      scratch.pattern_epoch.size() != pattern_rule_.size() ||
+      scratch.rule_epoch.size() != rules_.size()) {
     scratch.pattern_epoch.assign(pattern_rule_.size(), 0);
     scratch.rule_epoch.assign(rules_.size(), 0);
     scratch.content_hits.assign(rules_.size(), 0);
     scratch.candidates.clear();
     scratch.epoch = 0;
-    scratch.bound_to = this;
+    scratch.bound_id = id_;
   }
   if (++scratch.epoch == 0) {
     // uint32 wrap: reset the mark arrays once every ~4B packets.
@@ -127,6 +138,13 @@ std::shared_ptr<const CompiledRuleset> CompiledRulesetCache::GetOrCompile(
   std::string key = CompiledRuleset::CanonicalText(rules);
   const std::uint64_t hash = CompiledRuleset::ContentHash(key);
   std::lock_guard<std::mutex> lock(mu_);
+  // Probing below only prunes this key's bucket; sweep the whole table
+  // periodically so buckets for rulesets never re-requested can't leak
+  // their dead entries forever.
+  if (++ops_since_sweep_ >= kSweepInterval) {
+    ops_since_sweep_ = 0;
+    SweepExpiredLocked();
+  }
   auto& bucket = entries_[hash];
   bool expired_here = false;
   for (auto it = bucket.begin(); it != bucket.end();) {
@@ -148,6 +166,18 @@ std::shared_ptr<const CompiledRuleset> CompiledRulesetCache::GetOrCompile(
   return compiled;
 }
 
+void CompiledRulesetCache::SweepExpiredLocked() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto& bucket = it->second;
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [](const Entry& entry) {
+                                  return entry.value.expired();
+                                }),
+                 bucket.end());
+    it = bucket.empty() ? entries_.erase(it) : std::next(it);
+  }
+}
+
 std::size_t CompiledRulesetCache::LiveEntryCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t live = 0;
@@ -159,9 +189,17 @@ std::size_t CompiledRulesetCache::LiveEntryCount() const {
   return live;
 }
 
+std::size_t CompiledRulesetCache::TotalEntryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [hash, bucket] : entries_) total += bucket.size();
+  return total;
+}
+
 void CompiledRulesetCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  ops_since_sweep_ = 0;
 }
 
 }  // namespace iotsec::sig

@@ -15,6 +15,7 @@
 // iotsec::GlobalSig()).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -49,7 +50,11 @@ struct EvalScratch {
   std::vector<std::uint16_t> content_hits;   // per rule, this epoch
   std::vector<std::uint32_t> candidates;     // rules fully content-matched
   std::uint32_t epoch = 0;
-  const void* bound_to = nullptr;  // identity of the compile sized for
+  // id() of the compile the arrays are sized for. An id, not the compile's
+  // address: the allocator can reuse a freed compile's address for the
+  // next one (same size class), which would make a stale address-based
+  // binding pass and leave the arrays sized for the old ruleset.
+  std::uint64_t bound_id = 0;
 };
 
 class CompiledRuleset {
@@ -65,12 +70,19 @@ class CompiledRuleset {
   [[nodiscard]] std::size_t RuleCount() const { return rules_.size(); }
   [[nodiscard]] const DenseDfa& dfa() const { return dfa_; }
 
+  /// Process-unique identity of this compile (monotonic, never reused —
+  /// unlike the object's address). EvalScratch binds to this.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
   /// Canonical text the cache keys on (one ToText per rule, '\n'-joined).
   [[nodiscard]] static std::string CanonicalText(
       const std::vector<Rule>& rules);
   [[nodiscard]] static std::uint64_t ContentHash(std::string_view text);
 
  private:
+  static std::atomic<std::uint64_t> next_id_;
+
+  std::uint64_t id_;
   std::vector<Rule> rules_;
   DenseDfa dfa_;
   std::vector<std::uint32_t> pattern_rule_;  // pattern id -> rule index
@@ -84,6 +96,10 @@ class CompiledRuleset {
 /// (counted as expired + miss).
 class CompiledRulesetCache {
  public:
+  /// Every this-many GetOrCompile calls the whole table is swept for
+  /// expired entries (probing alone only prunes the probed bucket).
+  static constexpr std::uint64_t kSweepInterval = 64;
+
   static CompiledRulesetCache& Instance();
 
   /// Returns the shared compile for `rules`, compiling at most once per
@@ -94,11 +110,21 @@ class CompiledRulesetCache {
   /// Live (non-expired) entries — test/introspection aid.
   [[nodiscard]] std::size_t LiveEntryCount() const;
 
+  /// All retained entries, expired ones included — observability for the
+  /// periodic sweep (live == total once the sweep has run).
+  [[nodiscard]] std::size_t TotalEntryCount() const;
+
   /// Drops all entries (does not invalidate outstanding shared_ptrs).
   void Clear();
 
  private:
   CompiledRulesetCache() = default;
+
+  /// Drops every expired entry and every emptied bucket. Probing only
+  /// prunes the requested bucket, so without this a long-running process
+  /// with churning rulesets would accumulate dead entries (each holding
+  /// the full canonical rule text) in buckets never probed again.
+  void SweepExpiredLocked();
 
   struct Entry {
     std::string key;  // canonical text, to disambiguate hash collisions
@@ -106,6 +132,7 @@ class CompiledRulesetCache {
   };
 
   mutable std::mutex mu_;
+  std::uint64_t ops_since_sweep_ = 0;
   std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
 };
 

@@ -133,6 +133,66 @@ TEST_F(SigCacheTest, DeferredAndBatchedAddCompileOnce) {
   EXPECT_EQ(GlobalSig().cache_hits.Value(), 1u);
 }
 
+TEST_F(SigCacheTest, ScratchRebindsWhenAllocatorReusesCompileAddress) {
+  // Regression: EvalScratch used to bind to the compile's raw address.
+  // RuleSet::Reset frees the old compile before EnsureCompiled allocates
+  // the next one, so the allocator can place the successor at the same
+  // address (same size class); a stale address binding then passed and
+  // left the epoch/content-hit arrays sized for the *old* ruleset —
+  // out-of-bounds writes when the new ruleset is larger. Binding is now
+  // by process-unique compile id, so this holds regardless of where the
+  // allocator puts the successor; the ASan job proves no OOB.
+  RuleSet rs(SomeRules("tiny"));
+  const Bytes wire = TcpPayloadFrame("tiny and one and two and three");
+  EXPECT_EQ(rs.Evaluate(MustParse(wire)).matched_sids.size(), 1u);  // binds
+
+  // Grow the ruleset many times over; each Reset frees the previous
+  // compile first, inviting address reuse.
+  auto grown = ParseRules(
+      "alert tcp any any -> any any (sid:1; content:\"one\"; )\n"
+      "alert tcp any any -> any any (sid:2; content:\"two\"; )\n"
+      "alert tcp any any -> any any (sid:3; content:\"three\"; )\n");
+  rs.Reset(grown);
+  EXPECT_EQ(rs.Evaluate(MustParse(wire)).matched_sids.size(), 3u);
+
+  // And back down: a smaller successor must not inherit oversized arrays
+  // with stale marks (silently wrong verdicts).
+  rs.Reset(SomeRules("tiny"));
+  EXPECT_EQ(rs.Evaluate(MustParse(wire)).matched_sids.size(), 1u);
+}
+
+TEST_F(SigCacheTest, CompileIdsAreUniquePerCompile) {
+  // Identical rule text, separate compiles (cache cleared in between):
+  // distinct identities, so a scratch bound to one never trusts the other.
+  CompiledRuleset a(SomeRules("same"));
+  CompiledRuleset b(SomeRules("same"));
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.id(), 0u);  // 0 is the unbound-scratch sentinel
+  EXPECT_NE(b.id(), 0u);
+}
+
+TEST_F(SigCacheTest, PeriodicSweepPrunesBucketsNeverReprobed) {
+  auto& cache = CompiledRulesetCache::Instance();
+  // Churn: distinct rulesets acquired and immediately dropped. Their
+  // buckets are never probed again, so only the periodic sweep can free
+  // the dead entries (and their canonical rule text).
+  constexpr std::size_t kChurned = 8;
+  for (std::size_t i = 0; i < kChurned; ++i) {
+    auto compiled = cache.GetOrCompile(SomeRules("churn" + std::to_string(i)));
+  }
+  EXPECT_EQ(cache.LiveEntryCount(), 0u);
+  EXPECT_EQ(cache.TotalEntryCount(), kChurned);  // dead but retained
+
+  // Unrelated traffic on a different key reaches the sweep interval; the
+  // dead buckets are reclaimed even though nothing ever probes them.
+  auto live = cache.GetOrCompile(SomeRules("live"));
+  for (std::uint64_t i = 0; i < CompiledRulesetCache::kSweepInterval; ++i) {
+    EXPECT_EQ(cache.GetOrCompile(SomeRules("live")).get(), live.get());
+  }
+  EXPECT_EQ(cache.TotalEntryCount(), 1u);  // only the live entry survives
+  EXPECT_EQ(cache.LiveEntryCount(), 1u);
+}
+
 TEST_F(SigCacheTest, CrowdAcceptPrewarmsTheCache) {
   learn::CrowdRepo repo;
   repo.Subscribe("cam-sku", "site-a", [](const learn::SharedSignature&) {});
