@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/address.h"
@@ -364,47 +365,56 @@ int main() {
 
   FILE* json = std::fopen("BENCH_dpi.json", "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"scan\": [\n");
-    for (std::size_t i = 0; i < scan_rows.size(); ++i) {
-      const auto& r = scan_rows[i];
-      std::fprintf(
-          json,
-          "    {\"rules\": %zu, \"payload_bytes\": %zu, "
-          "\"seed_scan_mbps\": %.1f, \"dense_scan_mbps\": %.1f, "
-          "\"scan_speedup\": %.2f, \"seed_eval_pps\": %.0f, "
-          "\"dense_eval_pps\": %.0f, \"eval_speedup\": %.2f, "
-          "\"states\": %zu, \"dense_states\": %zu, "
-          "\"seed_mem_bytes\": %zu, \"dense_mem_bytes\": %zu}%s\n",
-          r.n_rules, r.payload_len, r.seed_scan_mbps / 1e6,
-          r.dense_scan_mbps / 1e6, r.scan_speedup, r.seed_eval_pps,
-          r.dense_eval_pps, r.eval_speedup, r.states, r.dense_states,
-          r.seed_mem_bytes, r.dense_mem_bytes,
-          i + 1 < scan_rows.size() ? "," : "");
+    bench::JsonWriter w(json);
+    w.BeginObject();
+    w.Key("scan");
+    w.BeginArray();
+    for (const auto& r : scan_rows) {
+      w.BeginObject();
+      w.Field("rules", r.n_rules);
+      w.Field("payload_bytes", r.payload_len);
+      w.Field("seed_scan_mbps", r.seed_scan_mbps / 1e6, 1);
+      w.Field("dense_scan_mbps", r.dense_scan_mbps / 1e6, 1);
+      w.Field("scan_speedup", r.scan_speedup, 2);
+      w.Field("seed_eval_pps", r.seed_eval_pps, 0);
+      w.Field("dense_eval_pps", r.dense_eval_pps, 0);
+      w.Field("eval_speedup", r.eval_speedup, 2);
+      w.Field("states", r.states);
+      w.Field("dense_states", r.dense_states);
+      w.Field("seed_mem_bytes", r.seed_mem_bytes);
+      w.Field("dense_mem_bytes", r.dense_mem_bytes);
+      w.EndObject();
     }
-    std::fprintf(json, "  ],\n  \"reconfig\": [\n");
-    for (std::size_t i = 0; i < reconfig_rows.size(); ++i) {
-      const auto& r = reconfig_rows[i];
-      std::fprintf(json,
-                   "    {\"rules\": %zu, \"umboxes\": %zu, \"compiles\": %llu, "
-                   "\"cache_hits\": %llu, \"total_ms\": %.3f, "
-                   "\"compile_once\": %s}%s\n",
-                   r.n_rules, r.umboxes,
-                   static_cast<unsigned long long>(r.compiles),
-                   static_cast<unsigned long long>(r.cache_hits), r.total_ms,
-                   r.compile_once ? "true" : "false",
-                   i + 1 < reconfig_rows.size() ? "," : "");
+    w.EndArray();
+    w.Key("reconfig");
+    w.BeginArray();
+    for (const auto& r : reconfig_rows) {
+      w.BeginObject();
+      w.Field("rules", r.n_rules);
+      w.Field("umboxes", r.umboxes);
+      w.Field("compiles", r.compiles);
+      w.Field("cache_hits", r.cache_hits);
+      w.Field("total_ms", r.total_ms, 3);
+      w.Field("compile_once", r.compile_once);
+      w.EndObject();
     }
-    std::fprintf(json,
-                 "  ],\n  \"load\": {\"rules\": %zu, \"per_insert_ms\": %.1f, "
-                 "\"batched_ms\": %.1f, \"speedup\": %.1f},\n",
-                 load.n_rules, load.per_insert_ms, load.batched_ms,
-                 load.speedup);
-    std::fprintf(json,
-                 "  \"acceptance\": {\"dense_scan_speedup_1k\": %.2f, "
-                 "\"required_speedup_1k\": %.1f, \"lax_perf\": %s, "
-                 "\"compile_once\": %s, \"pass\": %s}\n}\n",
-                 speedup_1k, required_1k, lax_perf ? "true" : "false",
-                 compile_once ? "true" : "false", pass ? "true" : "false");
+    w.EndArray();
+    w.Key("load");
+    w.BeginObject();
+    w.Field("rules", load.n_rules);
+    w.Field("per_insert_ms", load.per_insert_ms, 1);
+    w.Field("batched_ms", load.batched_ms, 1);
+    w.Field("speedup", load.speedup, 1);
+    w.EndObject();
+    w.Key("acceptance");
+    w.BeginObject();
+    w.Field("dense_scan_speedup_1k", speedup_1k, 2);
+    w.Field("required_speedup_1k", required_1k, 1);
+    w.Field("lax_perf", lax_perf);
+    w.Field("compile_once", compile_once);
+    w.Field("pass", pass);
+    w.EndObject();
+    w.EndObject();
     std::fclose(json);
     std::printf("\nwrote BENCH_dpi.json\n");
   }

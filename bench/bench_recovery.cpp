@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/iotsec.h"
 
 using namespace iotsec;
@@ -178,37 +179,33 @@ int main() {
 
   FILE* json = std::fopen("BENCH_recovery.json", "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"bench\": \"recovery\",\n");
-    std::fprintf(json, "  \"plan_deterministic\": %s,\n",
-                 deterministic ? "true" : "false");
-    std::fprintf(json, "  \"runs\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const auto& r = rows[i];
-      std::fprintf(
-          json,
-          "    {\"run\": \"%s\", \"boot\": \"%s\", "
-          "\"umbox_crash_rate_hz\": %.2f, \"host_crash_rate_hz\": %.2f, "
-          "\"planned\": %zu, \"injected\": %llu, \"skipped\": %llu, "
-          "\"detected\": %llu, \"restarts\": %llu, \"failovers\": %llu, "
-          "\"give_ups\": %llu, \"heartbeats\": %llu, "
-          "\"mean_mttr_ms\": %.2f, \"max_mttr_ms\": %.2f, "
-          "\"equation_holds\": %s}%s\n",
-          r.name.c_str(),
-          std::string(dataplane::BootModelName(r.boot)).c_str(),
-          r.crash_rate_hz, r.host_crash_rate_hz, r.planned_faults,
-          static_cast<unsigned long long>(r.injected),
-          static_cast<unsigned long long>(r.skipped),
-          static_cast<unsigned long long>(r.stats.detected_failures),
-          static_cast<unsigned long long>(r.stats.recovery_restarts),
-          static_cast<unsigned long long>(r.stats.recovery_failovers),
-          static_cast<unsigned long long>(r.stats.recovery_give_ups),
-          static_cast<unsigned long long>(r.stats.heartbeats),
-          r.stats.MeanMttrMs(),
-          static_cast<double>(r.stats.mttr_max) / 1e6,
-          r.equation_holds ? "true" : "false",
-          i + 1 < rows.size() ? "," : "");
+    bench::JsonWriter w(json);
+    w.BeginObject();
+    w.Field("bench", "recovery");
+    w.Field("plan_deterministic", deterministic);
+    w.Key("runs");
+    w.BeginArray();
+    for (const auto& r : rows) {
+      w.BeginObject();
+      w.Field("run", r.name);
+      w.Field("boot", std::string(dataplane::BootModelName(r.boot)));
+      w.Field("umbox_crash_rate_hz", r.crash_rate_hz, 2);
+      w.Field("host_crash_rate_hz", r.host_crash_rate_hz, 2);
+      w.Field("planned", r.planned_faults);
+      w.Field("injected", r.injected);
+      w.Field("skipped", r.skipped);
+      w.Field("detected", r.stats.detected_failures);
+      w.Field("restarts", r.stats.recovery_restarts);
+      w.Field("failovers", r.stats.recovery_failovers);
+      w.Field("give_ups", r.stats.recovery_give_ups);
+      w.Field("heartbeats", r.stats.heartbeats);
+      w.Field("mean_mttr_ms", r.stats.MeanMttrMs(), 2);
+      w.Field("max_mttr_ms", static_cast<double>(r.stats.mttr_max) / 1e6, 2);
+      w.Field("equation_holds", r.equation_holds);
+      w.EndObject();
     }
-    std::fprintf(json, "  ]\n}\n");
+    w.EndArray();
+    w.EndObject();
     std::fclose(json);
     std::printf("\nwrote BENCH_recovery.json\n");
   }

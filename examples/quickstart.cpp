@@ -6,9 +6,12 @@
 // prints what happened.
 //
 //   $ ./example_quickstart
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "core/iotsec.h"
+#include "obs/obs.h"
 
 using namespace iotsec;
 
@@ -85,5 +88,24 @@ int main() {
   std::printf(
       "\nThe device still ships admin/admin - nothing on it changed.\n"
       "The network now refuses to speak that password for it.\n");
+
+  // Every layer published telemetry while that ran: the process-wide
+  // registry (counters/gauges/latency histograms, also exportable as
+  // Prometheus text) and the flight recorder's per-thread trace rings.
+  std::printf("\n--- telemetry: obs::MetricsRegistry::Global().ToJson() ---\n%s",
+              obs::MetricsRegistry::Global().ToJson().c_str());
+  const auto trace = obs::FlightRecorder::Global().Dump();
+  std::printf("--- flight recorder: last %zu of %llu trace events ---\n",
+              std::min<std::size_t>(trace.size(), 8),
+              static_cast<unsigned long long>(
+                  obs::FlightRecorder::Global().EventsRecorded()));
+  for (std::size_t i = trace.size() > 8 ? trace.size() - 8 : 0;
+       i < trace.size(); ++i) {
+    const auto& ev = trace[i];
+    std::printf("seq=%llu %s a=%u b=0x%llx\n",
+                static_cast<unsigned long long>(ev.seq),
+                std::string(obs::TraceEventTypeName(ev.type)).c_str(), ev.a,
+                static_cast<unsigned long long>(ev.b));
+  }
   return 0;
 }

@@ -1,10 +1,14 @@
-// Streaming statistics helpers used by the benchmark harnesses.
+// Streaming statistics helpers used by the benchmark harnesses, plus
+// the legacy process-wide counter structs — now thin adapters over the
+// obs::MetricsRegistry (see src/obs/) so the same counts appear in the
+// registry's JSON / Prometheus exports without touching any call site.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace iotsec {
 
@@ -54,22 +58,24 @@ class SampleStats {
   double sum_ = 0;
 };
 
-/// Monotonically increasing counter. Relaxed-atomic: the process-wide
-/// counter structs below are incremented from paths that may run
-/// concurrently (a shared CompiledRuleset is evaluated read-only by many
-/// µmboxes at once), so a plain increment would race and lose counts.
+/// Compatibility adapter: same Inc/Value/Reset surface as the original
+/// relaxed-atomic counter, but backed by a named obs::Counter in the
+/// global MetricsRegistry (sharded per-thread, still safe for the
+/// concurrent paths — a shared CompiledRuleset is evaluated read-only by
+/// many µmboxes at once). Two adapters constructed with the same name
+/// alias the same registry counter; the structs below are only ever
+/// instantiated through their Global*() singletons.
 class Counter {
  public:
-  void Inc(std::uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t Value() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  explicit Counter(const char* name)
+      : impl_(obs::MetricsRegistry::Global().GetCounter(name)) {}
+
+  void Inc(std::uint64_t n = 1) { impl_->Inc(n); }
+  [[nodiscard]] std::uint64_t Value() const { return impl_->Value(); }
+  void Reset() { impl_->Reset(); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  obs::Counter* impl_;
 };
 
 /// Process-wide counters for the packet fast path (parse-once header
@@ -77,10 +83,10 @@ class Counter {
 /// The per-switch microflow-cache counters live on the cache itself
 /// (sdn::MicroflowCache::Stats); these cover the packet-level layers.
 struct FastPathCounters {
-  Counter parse_full;    // ParsedFrame computed from raw bytes
-  Counter parse_cached;  // served from the packet's cached view
-  Counter pool_fresh;    // packets heap-allocated
-  Counter pool_reused;   // packets recycled from the pool free list
+  Counter parse_full{"fastpath.parse_full"};     // computed from raw bytes
+  Counter parse_cached{"fastpath.parse_cached"}; // served from cached view
+  Counter pool_fresh{"fastpath.pool_fresh"};     // packets heap-allocated
+  Counter pool_reused{"fastpath.pool_reused"};   // recycled from free list
 
   void Reset() {
     parse_full.Reset();
@@ -101,12 +107,12 @@ inline FastPathCounters& GlobalFastPath() {
 /// µmboxes loading the same SKU ruleset must show M-1 cache hits and one
 /// compile.
 struct SigCounters {
-  Counter compiles;       // rulesets actually compiled (DFA built)
-  Counter cache_hits;     // compile requests served by the shared cache
-  Counter cache_misses;   // requests that had to compile (incl. expired)
-  Counter cache_expired;  // entries found but already released by all users
-  Counter evaluations;    // RuleSet/CompiledRuleset::Evaluate calls
-  Counter scan_bytes;     // payload bytes run through the DFA
+  Counter compiles{"sig.compiles"};           // rulesets compiled (DFA built)
+  Counter cache_hits{"sig.cache_hits"};       // served by the shared cache
+  Counter cache_misses{"sig.cache_misses"};   // had to compile (incl. expired)
+  Counter cache_expired{"sig.cache_expired"}; // found but fully released
+  Counter evaluations{"sig.evaluations"};     // Evaluate calls
+  Counter scan_bytes{"sig.scan_bytes"};       // payload bytes through the DFA
 
   void Reset() {
     compiles.Reset();

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "obs/obs.h"
 #include "proto/frame.h"
 #include "proto/iotctl.h"
 
@@ -311,6 +312,12 @@ void IoTSecController::Reevaluate() {
     const policy::Posture& posture = policy_.Evaluate(space_, state, id);
     if (posture == md.posture) continue;
     ++stats_.posture_changes;
+    if (obs::Enabled()) {
+      obs::M().ctl_policy_transitions->Inc();
+      obs::FlightRecorder::Global().Record(
+          obs::TraceEventType::kPolicyTransition, sim_.Now(), id,
+          std::hash<std::string>{}(posture.profile));
+    }
     audit_.Record(sim_.Now(), AuditCategory::kPosture,
                   md.device->spec().name,
                   md.posture.profile + " -> " + posture.profile);
@@ -488,6 +495,7 @@ void IoTSecController::SetControlChannelFault(double drop_rate,
 void IoTSecController::OnHostHeartbeat(ServerId host,
                                        std::vector<UmboxId> running) {
   ++stats_.heartbeats;
+  if (obs::Enabled()) obs::M().ctl_heartbeats->Inc();
   health_.OnHeartbeat(host, running, sim_.Now());
 }
 
@@ -517,6 +525,19 @@ void IoTSecController::HandleUmboxFailure(UmboxId umbox, const char* cause) {
   ManagedDevice* md = FindByUmbox(umbox);
   if (md == nullptr) return;  // already re-postured away
   ++stats_.detected_failures;
+  if (obs::Enabled()) {
+    obs::M().ctl_heartbeat_misses->Inc();
+    obs::FlightRecorder::Global().Record(
+        obs::TraceEventType::kHeartbeatMiss, sim_.Now(), umbox,
+        md->device->id());
+    // The crash declaration is the flight recorder's raison d'être: hand
+    // the merged pre-crash timeline to whatever sink the deployment
+    // configured (no sink configured -> just a timeline marker).
+    obs::FlightRecorder::Global().Incident(
+        "umbox " + std::to_string(umbox) + " on device " +
+            md->device->spec().name + ": " + cause,
+        sim_.Now());
+  }
   md->recovering = true;
   md->recovery_attempts = 0;
   md->failure_detected_at = sim_.Now();
@@ -540,6 +561,12 @@ void IoTSecController::HandleUmboxFailure(UmboxId umbox, const char* cause) {
 void IoTSecController::ScheduleRecoveryAttempt(ManagedDevice& md) {
   if (md.recovery_attempts >= config_.max_restart_attempts) {
     ++stats_.recovery_give_ups;
+    if (obs::Enabled()) {
+      obs::FlightRecorder::Global().Record(
+          obs::TraceEventType::kRecoveryGiveUp, sim_.Now(),
+          md.device->id(),
+          static_cast<std::uint64_t>(config_.max_restart_attempts));
+    }
     md.recovering = false;
     if (md.umbox) {
       health_.UntrackUmbox(*md.umbox);
@@ -692,6 +719,16 @@ void IoTSecController::FinishRecovery(DeviceId device, std::uint64_t epoch,
   stats_.mttr_total += mttr;
   stats_.mttr_max = std::max(stats_.mttr_max, mttr);
   ++stats_.mttr_samples;
+  if (obs::Enabled()) {
+    obs::M().ctl_recoveries->Inc();
+    // Simulated-time MTTR (detection -> forwarding restored); the only
+    // registry histogram fed sim-ns rather than wall-ns.
+    obs::M().ctl_mttr_ns->Record(mttr);
+    obs::FlightRecorder::Global().Record(
+        failover ? obs::TraceEventType::kUmboxFailover
+                 : obs::TraceEventType::kUmboxRestart,
+        sim_.Now(), umbox, failover ? host : device);
+  }
   if (config_.self_healing) {
     health_.TrackUmbox(umbox, host, sim_.Now());
   }

@@ -82,6 +82,13 @@ void Element::Output(net::PacketPtr pkt, int out_port) {
 void Element::RaiseAlert(std::string kind, std::string detail,
                          std::vector<std::uint32_t> sids) {
   ++stats_.alerts;
+  if (obs::Enabled()) {
+    obs::FlightRecorder::Global().Record(
+        obs::TraceEventType::kPacketVerdict,
+        ctx_.sim != nullptr ? ctx_.sim->Now() : 0,
+        static_cast<std::uint32_t>(std::hash<std::string>{}(name_)),
+        sids.empty() ? 1 : sids.front());
+  }
   if (!alert_sink_) return;
   Alert alert;
   alert.element = name_;

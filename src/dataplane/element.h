@@ -16,6 +16,7 @@
 
 #include "common/types.h"
 #include "net/packet.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 
 namespace iotsec::dataplane {
@@ -57,8 +58,14 @@ struct ElementContext {
 
 class Element {
  public:
+  // The per-type latency histogram is resolved at construction (build /
+  // reconfigure time), so Accept() never pays a registry lookup. All
+  // instances of a type share one histogram: "dp.element.Counter_ns".
   Element(std::string name, std::string type)
-      : name_(std::move(name)), type_(std::move(type)) {}
+      : name_(std::move(name)),
+        type_(std::move(type)),
+        latency_hist_(obs::MetricsRegistry::Global().GetHistogram(
+            "dp.element." + type_ + "_ns")) {}
   virtual ~Element() = default;
 
   Element(const Element&) = delete;
@@ -102,6 +109,7 @@ class Element {
   /// Entry point used by the graph (counts + dispatches to Push).
   void Accept(net::PacketPtr pkt, int in_port) {
     ++stats_.in;
+    OBS_SPAN(latency_hist_);
     Push(std::move(pkt), in_port);
   }
 
@@ -110,10 +118,18 @@ class Element {
   /// the port is unconnected.
   void Output(net::PacketPtr pkt, int out_port = 0);
 
-  /// Accounts a dropped packet.
+  /// Accounts a dropped packet (a drop verdict is a flight-recorder
+  /// breadcrumb: it is the packet-level decision an operator replays).
   void Drop(const net::PacketPtr& pkt) {
     (void)pkt;
     ++stats_.dropped;
+    if (obs::Enabled()) {
+      obs::FlightRecorder::Global().Record(
+          obs::TraceEventType::kPacketVerdict,
+          ctx_.sim != nullptr ? ctx_.sim->Now() : 0,
+          static_cast<std::uint32_t>(std::hash<std::string>{}(name_)),
+          /*b=*/0);
+    }
   }
 
   void RaiseAlert(std::string kind, std::string detail,
@@ -130,6 +146,7 @@ class Element {
 
   std::string name_;
   std::string type_;
+  obs::Histogram* latency_hist_ = nullptr;
   std::vector<Wire> outputs_;
   std::function<void(net::PacketPtr)> egress_;
   std::function<void(Alert)> alert_sink_;

@@ -1,5 +1,7 @@
 #include "dataplane/umbox.h"
 
+#include "obs/obs.h"
+
 namespace iotsec::dataplane {
 
 std::string_view BootModelName(BootModel m) {
@@ -67,30 +69,39 @@ void Umbox::Boot(std::function<void()> on_ready) {
 
 void Umbox::Process(net::PacketPtr pkt) {
   switch (state_) {
-    case UmboxState::kRunning:
+    case UmboxState::kRunning: {
       ++stats_.processed;
+      if (obs::Enabled()) obs::M().dp_packets->Inc();
       if (net::Packet::TracingEnabled()) {
         pkt->Trace("umbox:" + std::to_string(spec_.id));
       }
+      // Whole-chain latency: one span around the graph walk covers every
+      // element the frame traverses (sampling off = one branch).
+      OBS_SPAN(obs::M().dp_chain_ns);
       graph_->Inject(std::move(pkt));
       return;
+    }
     case UmboxState::kBooting:
     case UmboxState::kConfigured:
       if (!spec_.queue_while_booting) {
         ++stats_.dropped_during_boot;
         ++stats_.dropped_unqueued;
+        if (obs::Enabled()) obs::M().dp_boot_drops->Inc();
       } else if (boot_queue_.size() >= spec_.boot_queue_limit) {
         ++stats_.dropped_during_boot;
         ++stats_.dropped_queue_full;
+        if (obs::Enabled()) obs::M().dp_boot_drops->Inc();
       } else {
         ++stats_.queued_during_boot;
         boot_queue_.push_back(std::move(pkt));
+        if (obs::Enabled()) obs::M().dp_boot_queue->Add(1);
       }
       return;
     case UmboxState::kStopped:
       return;  // silently dropped; the orchestrator already repointed flows
     case UmboxState::kCrashed:
       ++stats_.dropped_crashed;
+      if (obs::Enabled()) obs::M().dp_boot_drops->Inc();
       return;
   }
 }
@@ -101,6 +112,13 @@ void Umbox::Crash() {
   ++stats_.crashes;
   // Whatever was queued for the boot that will now never finish is lost.
   stats_.dropped_crashed += boot_queue_.size();
+  if (obs::Enabled()) {
+    obs::M().dp_boot_queue->Add(
+        -static_cast<std::int64_t>(boot_queue_.size()));
+    obs::FlightRecorder::Global().Record(
+        obs::TraceEventType::kUmboxCrash,
+        ctx_.sim != nullptr ? ctx_.sim->Now() : 0, spec_.id, spec_.device);
+  }
   boot_queue_.clear();
 }
 
@@ -108,6 +126,7 @@ void Umbox::DrainBootQueue() {
   while (!boot_queue_.empty() && state_ == UmboxState::kRunning) {
     auto pkt = std::move(boot_queue_.front());
     boot_queue_.pop_front();
+    if (obs::Enabled()) obs::M().dp_boot_queue->Add(-1);
     ++stats_.processed;
     if (net::Packet::TracingEnabled()) {
       pkt->Trace("umbox:" + std::to_string(spec_.id));
@@ -136,6 +155,11 @@ bool Umbox::Restart(const std::string& new_config, std::string* error,
   graph_ = std::move(new_graph);
   spec_.config_text = new_config;
   ++stats_.restarts;
+  if (obs::Enabled()) {
+    obs::FlightRecorder::Global().Record(
+        obs::TraceEventType::kUmboxRestart,
+        ctx_.sim != nullptr ? ctx_.sim->Now() : 0, spec_.id, spec_.device);
+  }
   Boot(std::move(on_ready));
   return true;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace iotsec::fault {
 
@@ -142,6 +143,18 @@ void FaultInjector::Schedule(const std::vector<FaultEvent>& plan) {
 }
 
 void FaultInjector::Inject(const FaultEvent& event) {
+  // Every injected fault is a flight-recorder breadcrumb, so a post-
+  // incident dump shows the injection next to the detection/recovery
+  // events it caused (target id: device for µmbox crashes, index for the
+  // rest).
+  if (obs::Enabled()) {
+    obs::FlightRecorder::Global().Record(
+        obs::TraceEventType::kFaultInjected, sim_.Now(),
+        static_cast<std::uint32_t>(event.kind),
+        event.kind == FaultKind::kUmboxCrash
+            ? static_cast<std::uint64_t>(event.device)
+            : static_cast<std::uint64_t>(event.host_index));
+  }
   switch (event.kind) {
     case FaultKind::kUmboxCrash: {
       if (controller_ == nullptr || cluster_ == nullptr) {

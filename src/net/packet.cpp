@@ -1,5 +1,7 @@
 #include "net/packet.h"
 
+#include "obs/obs.h"
+
 namespace iotsec::net {
 
 void SetPacketTracing(bool enabled) { Packet::tracing_enabled_ = enabled; }
@@ -48,6 +50,12 @@ void PacketPool::Release(Packet* pkt) {
   }
   pkt->ResetForReuse();
   free_.emplace_back(pkt);
+  // Occupancy is only published on release: Acquire/Release alternate in
+  // steady state, so the high-water mark is captured here and the idle
+  // fast path (pool disabled) pays nothing.
+  if (obs::Enabled()) {
+    obs::M().net_pool_free->Set(static_cast<std::int64_t>(free_.size()));
+  }
 }
 
 }  // namespace iotsec::net

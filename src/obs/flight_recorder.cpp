@@ -1,0 +1,154 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/types.h"
+
+namespace iotsec::obs {
+
+std::string_view TraceEventTypeName(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kNone: return "none";
+    case TraceEventType::kPacketVerdict: return "packet_verdict";
+    case TraceEventType::kMicroflowMiss: return "microflow_miss";
+    case TraceEventType::kPolicyTransition: return "policy_transition";
+    case TraceEventType::kUmboxCrash: return "umbox_crash";
+    case TraceEventType::kUmboxRestart: return "umbox_restart";
+    case TraceEventType::kUmboxFailover: return "umbox_failover";
+    case TraceEventType::kRecoveryGiveUp: return "recovery_give_up";
+    case TraceEventType::kHeartbeatMiss: return "heartbeat_miss";
+    case TraceEventType::kFaultInjected: return "fault_injected";
+    case TraceEventType::kIncident: return "incident";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::FlightRecorder() : instance_id_([] {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}()) {}
+
+void FlightRecorder::SetCapacityPerThread(std::size_t events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::bit_ceil(std::max<std::size_t>(events, 8));
+}
+
+FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
+  // One cached (instance id, ring) pair per thread per recorder. Keyed
+  // by the unique id, not the address — an id from a dead recorder can
+  // never match a live one, so address reuse is harmless (the stale
+  // entry just sits unmatched; the vector is tiny: the Global()
+  // recorder plus any test-local ones).
+  struct Cache {
+    std::vector<std::pair<std::uint64_t, Ring*>> entries;
+  };
+  thread_local Cache cache;
+  for (const auto& [id, ring] : cache.entries) {
+    if (id == instance_id_) return ring;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<Ring>(capacity_));
+  Ring* ring = rings_.back().get();
+  cache.entries.emplace_back(instance_id_, ring);
+  return ring;
+}
+
+void FlightRecorder::Record(TraceEventType type, std::uint64_t sim_time,
+                            std::uint32_t a, std::uint64_t b) {
+  if (!enabled()) return;
+  Ring* ring = RingForThisThread();
+  TraceEvent ev;
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.sim_time = sim_time;
+  ev.type = type;
+  ev.a = a;
+  ev.b = b;
+  while (ring->lock.test_and_set(std::memory_order_acquire)) {
+  }
+  ring->slots[ring->head] = ev;
+  ring->head = (ring->head + 1) & (ring->slots.size() - 1);
+  ++ring->count;
+  ring->lock.clear(std::memory_order_release);
+}
+
+std::vector<TraceEvent> FlightRecorder::Dump() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t t = 0; t < rings_.size(); ++t) {
+      Ring* ring = rings_[t].get();
+      while (ring->lock.test_and_set(std::memory_order_acquire)) {
+      }
+      const std::size_t cap = ring->slots.size();
+      const std::uint64_t live = std::min<std::uint64_t>(ring->count, cap);
+      // Oldest surviving event first: the ring wrapped `count - live`
+      // times, so the oldest slot is `head` when full, 0 otherwise.
+      std::size_t pos = ring->count >= cap ? ring->head : 0;
+      for (std::uint64_t i = 0; i < live; ++i) {
+        TraceEvent ev = ring->slots[pos];
+        ev.thread = static_cast<std::uint16_t>(t);
+        out.push_back(ev);
+        pos = (pos + 1) & (cap - 1);
+      }
+      ring->lock.clear(std::memory_order_release);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::DumpText() const {
+  std::string out;
+  for (const TraceEvent& ev : Dump()) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "seq=%llu t=%s thread=%u %s a=%u b=0x%llx\n",
+                  static_cast<unsigned long long>(ev.seq),
+                  FormatDuration(ev.sim_time).c_str(), ev.thread,
+                  std::string(TraceEventTypeName(ev.type)).c_str(), ev.a,
+                  static_cast<unsigned long long>(ev.b));
+    out += line;
+  }
+  return out;
+}
+
+void FlightRecorder::SetIncidentSink(
+    std::function<void(const std::string&, const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void FlightRecorder::Incident(const std::string& reason,
+                              std::uint64_t sim_time) {
+  Record(TraceEventType::kIncident, sim_time, 0, 0);
+  std::function<void(const std::string&, const std::string&)> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = sink_;
+  }
+  if (sink) sink(reason, DumpText());
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    while (ring->lock.test_and_set(std::memory_order_acquire)) {
+    }
+    ring->head = 0;
+    ring->count = 0;
+    ring->lock.clear(std::memory_order_release);
+  }
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace iotsec::obs

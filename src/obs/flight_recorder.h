@@ -1,0 +1,134 @@
+// Observability: the flight recorder.
+//
+// A per-thread ring buffer of compact binary trace events — the last N
+// things that happened on each thread (packet verdicts, microflow-cache
+// misses, policy FSM transitions, µmbox crash/restart/failover, fault
+// injections). Cheap enough to leave on in production: recording is an
+// uncontended spinlock acquire plus a 32-byte slot write, and the ring
+// overwrites its own oldest entries, so memory is fixed regardless of
+// uptime.
+//
+// The payoff is post-mortem debugging: when the HealthMonitor declares a
+// crash, the controller calls Incident(), which snapshots every thread's
+// ring merged into one globally-ordered timeline (events carry a global
+// sequence number) and hands it to the configured sink. Tests and
+// operators can also Dump() on demand.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace iotsec::obs {
+
+enum class TraceEventType : std::uint16_t {
+  kNone = 0,
+  kPacketVerdict,     // a = device/element hash, b = verdict code / sid
+  kMicroflowMiss,     // a = switch id, b = flow key hash
+  kPolicyTransition,  // a = device id, b = posture profile hash
+  kUmboxCrash,        // a = umbox id, b = device id
+  kUmboxRestart,      // a = umbox id, b = device id
+  kUmboxFailover,     // a = umbox id, b = new host id
+  kRecoveryGiveUp,    // a = device id, b = attempts
+  kHeartbeatMiss,     // a = host id, b = umbox id (0 = host-level)
+  kFaultInjected,     // a = fault kind, b = target id
+  kIncident,          // a = 0, b = 0 (marks the auto-dump trigger)
+};
+
+[[nodiscard]] std::string_view TraceEventTypeName(TraceEventType t);
+
+/// One fixed-size binary trace record (32 bytes).
+struct TraceEvent {
+  std::uint64_t seq = 0;       // global order across all threads
+  std::uint64_t sim_time = 0;  // simulated ns (0 when not applicable)
+  TraceEventType type = TraceEventType::kNone;
+  std::uint16_t thread = 0;    // recorder-assigned writer id
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+};
+static_assert(sizeof(TraceEvent) <= 32);
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;  // events/thread
+
+  /// The process-wide recorder all instrumentation writes to.
+  static FlightRecorder& Global();
+
+  FlightRecorder();
+
+  /// Recording master switch (default on). Off: Record is one relaxed
+  /// load + branch.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity for threads that have not recorded yet (existing
+  /// rings keep their size). Rounded up to a power of two.
+  void SetCapacityPerThread(std::size_t events);
+
+  /// Appends one event to the calling thread's ring.
+  void Record(TraceEventType type, std::uint64_t sim_time, std::uint32_t a,
+              std::uint64_t b);
+
+  /// Merges every thread's ring (including threads that have exited)
+  /// into one sequence-ordered timeline of the surviving events.
+  [[nodiscard]] std::vector<TraceEvent> Dump() const;
+
+  /// Human-readable dump, one event per line:
+  ///   seq=42 t=1.250ms thread=0 policy_transition a=3 b=0x9e3779b9
+  [[nodiscard]] std::string DumpText() const;
+
+  /// Sink invoked by Incident() with (reason, DumpText()). Unset by
+  /// default: incidents then only mark the timeline. The deployment
+  /// layer points this at a file / the log at setup.
+  void SetIncidentSink(
+      std::function<void(const std::string&, const std::string&)> sink);
+
+  /// Declares an incident: records a kIncident marker and, if a sink is
+  /// configured, delivers the merged dump to it. Called by the
+  /// controller when the HealthMonitor declares a crash.
+  void Incident(const std::string& reason, std::uint64_t sim_time = 0);
+
+  /// Drops all recorded events (rings stay allocated). Tests/benches.
+  void Clear();
+
+  [[nodiscard]] std::uint64_t EventsRecorded() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One writer thread's ring. The spinlock is uncontended in steady
+  /// state (only the owning thread writes; Dump briefly takes it), so
+  /// the hot path is one atomic exchange + one release store around the
+  /// slot write.
+  struct Ring {
+    explicit Ring(std::size_t cap) : slots(cap) {}
+    std::vector<TraceEvent> slots;
+    std::size_t head = 0;     // next write position
+    std::uint64_t count = 0;  // total events ever written
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+  };
+
+  Ring* RingForThisThread();
+
+  // Threads cache their ring per recorder *instance id*, never per
+  // address: a destroyed recorder's storage can be reused for a new one,
+  // and an address-keyed cache would then hand out a dangling ring.
+  const std::uint64_t instance_id_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_seq_{0};
+  mutable std::mutex mu_;  // ring list + capacity + sink
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::function<void(const std::string&, const std::string&)> sink_;
+};
+
+}  // namespace iotsec::obs

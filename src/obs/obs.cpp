@@ -1,0 +1,28 @@
+#include "obs/obs.h"
+
+namespace iotsec::obs {
+
+Metrics& M() {
+  static Metrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    Metrics out;
+    out.net_pool_free = r.GetGauge("net.pool_free");
+    out.sdn_microflow_hits = r.GetCounter("sdn.microflow_hits");
+    out.sdn_microflow_misses = r.GetCounter("sdn.microflow_misses");
+    out.sdn_microflow_stale = r.GetCounter("sdn.microflow_stale");
+    out.dp_packets = r.GetCounter("dp.packets");
+    out.dp_boot_drops = r.GetCounter("dp.boot_drops");
+    out.dp_chain_ns = r.GetHistogram("dp.chain_ns");
+    out.dp_boot_queue = r.GetGauge("dp.boot_queue");
+    out.sig_scan_ns = r.GetHistogram("sig.scan_ns");
+    out.ctl_policy_transitions = r.GetCounter("ctl.policy_transitions");
+    out.ctl_heartbeats = r.GetCounter("ctl.heartbeats");
+    out.ctl_heartbeat_misses = r.GetCounter("ctl.heartbeat_misses");
+    out.ctl_recoveries = r.GetCounter("ctl.recoveries");
+    out.ctl_mttr_ns = r.GetHistogram("ctl.mttr_ns");
+    return out;
+  }();
+  return m;
+}
+
+}  // namespace iotsec::obs

@@ -1,0 +1,51 @@
+// Observability: the pre-registered metric handles every layer shares.
+//
+// Hot paths must not pay a name lookup (mutex + map probe) per event, so
+// the well-known metrics are registered once and exposed as a plain
+// struct of stable pointers. Call sites write obs::M().sdn_microflow_hits
+// ->Inc() — M() is a function-local static, one guard load after the
+// first call.
+//
+// Naming follows "<layer>.<what>[_<unit>]"; everything lands in
+// MetricsRegistry::Global() and therefore in the JSON / Prometheus
+// exports and bench_obs' snapshots.
+#pragma once
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace iotsec::obs {
+
+struct Metrics {
+  // ---- net: packet allocation.
+  Gauge* net_pool_free;            // PacketPool free-list occupancy
+
+  // ---- sdn: classification.
+  Counter* sdn_microflow_hits;     // exact-match cache served
+  Counter* sdn_microflow_misses;   // fell through to the linear scan
+  Counter* sdn_microflow_stale;    // generation-invalidated probes
+
+  // ---- dataplane: µmbox chains.
+  Counter* dp_packets;             // frames entering running µmboxes
+  Counter* dp_boot_drops;          // frames lost while booting/crashed
+  Histogram* dp_chain_ns;          // per-µmbox-chain processing latency
+  Gauge* dp_boot_queue;            // packets parked in boot queues
+
+  // ---- sig: detection engine.
+  Histogram* sig_scan_ns;          // CompiledRuleset::Evaluate latency
+
+  // ---- control: the controller's reaction loop.
+  Counter* ctl_policy_transitions; // posture changes applied
+  Counter* ctl_heartbeats;         // heartbeats delivered
+  Counter* ctl_heartbeat_misses;   // failures declared by silence
+  Counter* ctl_recoveries;         // restarts + failovers completed
+  Histogram* ctl_mttr_ns;          // detection -> forwarding restored
+                                   // (simulated time, unlike the
+                                   // wall-clock spans above)
+};
+
+/// The shared handle bundle (registered on first use).
+Metrics& M();
+
+}  // namespace iotsec::obs

@@ -1,0 +1,73 @@
+// Observability: RAII latency spans.
+//
+// OBS_SPAN(histogram_ptr) times the enclosing scope on the wall clock
+// and records the elapsed nanoseconds into a registry histogram. The
+// whole point is the off switch: with sampling disabled (the default),
+// constructing a span costs exactly one relaxed load + branch and the
+// destructor costs the same — no clock reads, no histogram writes — so
+// instrumentation can live permanently on the per-packet path and stay
+// inside the <3% overhead budget bench_obs enforces.
+//
+// Sampling is process-global (obs::SetSampling). Spans measure real
+// wall-clock compute time (steady_clock), not simulated time — the
+// simulator's event loop runs handlers back-to-back, so a span around a
+// handler prices the actual CPU cost of that stage.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace iotsec::obs {
+
+namespace detail {
+inline std::atomic<bool> g_sampling{false};
+}  // namespace detail
+
+/// Turns span sampling on/off. Off (default): spans are branch-only.
+inline void SetSampling(bool enabled) {
+  detail::g_sampling.store(enabled, std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool SamplingEnabled() {
+  return detail::g_sampling.load(std::memory_order_relaxed);
+}
+
+/// Monotonic wall-clock nanoseconds (only called while sampling is on).
+[[nodiscard]] inline std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Times its lifetime into `hist` when sampling is on. `hist` may be
+/// nullptr (span degrades to a no-op), so call sites can instrument
+/// unconditionally and resolve the histogram lazily.
+class SpanTimer {
+ public:
+  explicit SpanTimer(Histogram* hist)
+      : hist_(SamplingEnabled() ? hist : nullptr),
+        start_ns_(hist_ != nullptr ? NowNanos() : 0) {}
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  ~SpanTimer() {
+    if (hist_ != nullptr) hist_->Record(NowNanos() - start_ns_);
+  }
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace iotsec::obs
+
+#define IOTSEC_OBS_CONCAT_(a, b) a##b
+#define IOTSEC_OBS_CONCAT(a, b) IOTSEC_OBS_CONCAT_(a, b)
+
+/// Times the enclosing scope into the given obs::Histogram*.
+#define OBS_SPAN(hist) \
+  ::iotsec::obs::SpanTimer IOTSEC_OBS_CONCAT(obs_span_, __LINE__)(hist)

@@ -1,5 +1,7 @@
 #include "sdn/microflow_cache.h"
 
+#include "obs/obs.h"
+
 namespace iotsec::sdn {
 
 namespace {
@@ -18,16 +20,27 @@ MicroflowCache::MicroflowCache(std::size_t slots)
 
 bool MicroflowCache::Find(const FlowKey& key, std::uint64_t generation,
                           const FlowEntry** entry) {
+  // Per-instance stats stay exact and cheap (plain fields); the fleet-
+  // wide hit ratio additionally lands in the metrics registry, and every
+  // miss (first packet of a flow or a flow-table mutation) is a flight-
+  // recorder breadcrumb — the event that explains a latency spike.
   Slot& slot = slots_[key.Hash() & mask_];
   if (!slot.used || !(slot.key == key)) {
     ++stats_.misses;
+    if (obs::Enabled()) {
+      obs::M().sdn_microflow_misses->Inc();
+      obs::FlightRecorder::Global().Record(
+          obs::TraceEventType::kMicroflowMiss, 0, 0, key.Hash());
+    }
     return false;
   }
   if (slot.generation != generation) {
     ++stats_.stale;
+    if (obs::Enabled()) obs::M().sdn_microflow_stale->Inc();
     return false;
   }
   ++stats_.hits;
+  if (obs::Enabled()) obs::M().sdn_microflow_hits->Inc();
   *entry = slot.entry;
   return true;
 }

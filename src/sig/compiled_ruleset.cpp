@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stats.h"
+#include "obs/obs.h"
 
 namespace iotsec::sig {
 
@@ -40,6 +41,7 @@ CompiledRuleset::CompiledRuleset(std::vector<Rule> rules)
 RuleVerdict CompiledRuleset::Evaluate(const proto::ParsedFrame& frame,
                                       EvalScratch& scratch) const {
   GlobalSig().evaluations.Inc();
+  OBS_SPAN(obs::M().sig_scan_ns);
   // Rebind on the compile's unique id — never its address, which the
   // allocator may hand to a successor compile. The size checks are a
   // belt-and-braces guard: even with a forged/corrupted binding the
