@@ -1,0 +1,6 @@
+# Clean fixture: the canonical monitor chain. iotsec_lint reports zero
+# findings on it.
+cnt :: Counter
+sig :: SignatureMatcher(rules=builtin)
+entry cnt
+cnt -> sig

@@ -1,0 +1,6 @@
+# Seeded defect: a -> b -> a loops packets forever (G004).
+a :: Counter
+b :: Counter
+entry a
+a -> b
+b -> a

@@ -1,0 +1,8 @@
+# Seeded defect: the Tee's port 1 is unconnected while port 0 leads to
+# the signature matcher -> packets on port 1 egress unscanned (G006).
+cnt :: Counter
+split :: Tee(ports=2)
+sig :: SignatureMatcher(rules=builtin)
+entry cnt
+cnt -> split
+split [0] -> sig

@@ -1,0 +1,6 @@
+# Seeded defect: "brust" is a typo for "burst"; the element silently
+# ignores it at build time (G002).
+cnt :: Counter
+rl :: RateLimiter(rate_pps=100, brust=20)
+entry cnt
+cnt -> rl

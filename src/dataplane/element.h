@@ -56,6 +56,36 @@ struct ElementContext {
   const ContextView* context = nullptr;
 };
 
+/// What an element type contributes to a security chain. The static
+/// verifier keys fail-open analysis on this: a posture whose graph holds
+/// no blocking/scanning element enforces nothing.
+enum class ElementRole : std::uint8_t {
+  kPlumbing,  // moves/copies/delays packets, never drops or alerts
+  kScanning,  // raises alerts but forwards (AnomalyDetector, Logger-like)
+  kBlocking,  // can drop packets on a security verdict
+};
+
+/// Tee's output arity comes from its `ports` config key, not the table.
+inline constexpr int kVariadicOutPorts = -1;
+
+/// Static metadata for one element type: the single source of truth the
+/// factory and the µmbox-graph linter share.
+struct ElementTypeInfo {
+  std::string_view type;
+  ElementRole role = ElementRole::kPlumbing;
+  /// Output ports the element ever emits on (kVariadicOutPorts for Tee).
+  int out_ports = 1;
+  /// Config keys Configure understands; anything else is a typo that is
+  /// silently ignored at build time (the linter flags it).
+  std::vector<std::string_view> config_keys;
+};
+
+/// All registered element types, in factory order (deterministic).
+const std::vector<ElementTypeInfo>& AllElementTypes();
+
+/// Metadata for one type; nullptr for unknown types.
+const ElementTypeInfo* FindElementType(std::string_view type);
+
 class Element {
  public:
   // The per-type latency histogram is resolved at construction (build /
@@ -113,6 +143,17 @@ class Element {
     Push(std::move(pkt), in_port);
   }
 
+  /// One wired output port: where packets leaving that port go. A null
+  /// `next` means the port egresses the µmbox.
+  struct Wire {
+    Element* next = nullptr;
+    int in_port = 0;
+  };
+
+  /// Wiring introspection for the graph linter: entry i is output port
+  /// i's wire (ports past the vector's end are unconnected).
+  [[nodiscard]] const std::vector<Wire>& wires() const { return outputs_; }
+
  protected:
   /// Forwards to the connected downstream element, or to the egress when
   /// the port is unconnected.
@@ -139,11 +180,6 @@ class Element {
   Stats stats_;
 
  private:
-  struct Wire {
-    Element* next = nullptr;
-    int in_port = 0;
-  };
-
   std::string name_;
   std::string type_;
   obs::Histogram* latency_hist_ = nullptr;

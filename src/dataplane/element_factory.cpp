@@ -1,31 +1,89 @@
+// Element type registry: one table drives both construction and the
+// static metadata (role, port arity, known config keys) the µmbox-graph
+// linter validates against. Adding an element type means adding one row.
+#include <functional>
+
 #include "dataplane/elements.h"
 
 namespace iotsec::dataplane {
+namespace {
+
+struct ElementTypeEntry {
+  ElementTypeInfo info;
+  std::function<std::unique_ptr<Element>(const std::string&)> make;
+};
+
+template <typename T>
+ElementTypeEntry Entry(std::string_view type, ElementRole role, int out_ports,
+                       std::vector<std::string_view> config_keys) {
+  ElementTypeEntry entry;
+  entry.info = {type, role, out_ports, std::move(config_keys)};
+  entry.make = [type](const std::string& name) {
+    return std::make_unique<T>(name, std::string(type));
+  };
+  return entry;
+}
+
+const std::vector<ElementTypeEntry>& Registry() {
+  static const std::vector<ElementTypeEntry> kRegistry = [] {
+    std::vector<ElementTypeEntry> r;
+    r.push_back(Entry<Counter>("Counter", ElementRole::kPlumbing, 1, {}));
+    r.push_back(Entry<Tee>("Tee", ElementRole::kPlumbing, kVariadicOutPorts,
+                           {"ports"}));
+    r.push_back(Entry<Discard>("Discard", ElementRole::kBlocking, 0, {}));
+    r.push_back(Entry<Logger>("Logger", ElementRole::kScanning, 1,
+                              {"prefix"}));
+    r.push_back(Entry<RateLimiter>("RateLimiter", ElementRole::kBlocking, 1,
+                                   {"rate_pps", "burst"}));
+    r.push_back(Entry<IpFilter>("IpFilter", ElementRole::kBlocking, 1,
+                                {"allow", "deny", "default"}));
+    r.push_back(Entry<StatefulFirewall>("StatefulFirewall",
+                                        ElementRole::kBlocking, 1,
+                                        {"allow_inbound", "inside"}));
+    r.push_back(Entry<SignatureMatcher>("SignatureMatcher",
+                                        ElementRole::kBlocking, 1, {"rules"}));
+    r.push_back(Entry<DnsGuard>("DnsGuard", ElementRole::kBlocking, 1,
+                                {"allow_any", "expected_clients"}));
+    r.push_back(Entry<PasswordProxy>(
+        "PasswordProxy", ElementRole::kBlocking, 1,
+        {"device_ip", "user", "password", "device_user", "device_password"}));
+    r.push_back(Entry<ContextGate>("ContextGate", ElementRole::kBlocking, 1,
+                                   {"cmd", "key", "equals", "else"}));
+    r.push_back(Entry<Delay>("Delay", ElementRole::kPlumbing, 1, {"ms"}));
+    r.push_back(Entry<AuthGuard>("AuthGuard", ElementRole::kBlocking, 1,
+                                 {"max_failures", "window_ms", "lockout_ms"}));
+    r.push_back(Entry<AnomalyDetector>("AnomalyDetector",
+                                       ElementRole::kScanning, 1,
+                                       {"window_ms", "threshold"}));
+    return r;
+  }();
+  return kRegistry;
+}
+
+}  // namespace
+
+const std::vector<ElementTypeInfo>& AllElementTypes() {
+  static const std::vector<ElementTypeInfo> kTypes = [] {
+    std::vector<ElementTypeInfo> out;
+    out.reserve(Registry().size());
+    for (const auto& entry : Registry()) out.push_back(entry.info);
+    return out;
+  }();
+  return kTypes;
+}
+
+const ElementTypeInfo* FindElementType(std::string_view type) {
+  for (const auto& info : AllElementTypes()) {
+    if (info.type == type) return &info;
+  }
+  return nullptr;
+}
 
 std::unique_ptr<Element> CreateElement(const std::string& type,
                                        const std::string& name,
                                        std::string* error) {
-  if (type == "Counter") return std::make_unique<Counter>(name, type);
-  if (type == "Tee") return std::make_unique<Tee>(name, type);
-  if (type == "Discard") return std::make_unique<Discard>(name, type);
-  if (type == "Logger") return std::make_unique<Logger>(name, type);
-  if (type == "RateLimiter") return std::make_unique<RateLimiter>(name, type);
-  if (type == "IpFilter") return std::make_unique<IpFilter>(name, type);
-  if (type == "StatefulFirewall") {
-    return std::make_unique<StatefulFirewall>(name, type);
-  }
-  if (type == "SignatureMatcher") {
-    return std::make_unique<SignatureMatcher>(name, type);
-  }
-  if (type == "DnsGuard") return std::make_unique<DnsGuard>(name, type);
-  if (type == "PasswordProxy") {
-    return std::make_unique<PasswordProxy>(name, type);
-  }
-  if (type == "ContextGate") return std::make_unique<ContextGate>(name, type);
-  if (type == "Delay") return std::make_unique<Delay>(name, type);
-  if (type == "AuthGuard") return std::make_unique<AuthGuard>(name, type);
-  if (type == "AnomalyDetector") {
-    return std::make_unique<AnomalyDetector>(name, type);
+  for (const auto& entry : Registry()) {
+    if (entry.info.type == type) return entry.make(name);
   }
   if (error) *error = "unknown element type: " + type;
   return nullptr;

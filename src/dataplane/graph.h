@@ -22,13 +22,31 @@
 
 namespace iotsec::dataplane {
 
+/// A build diagnostic with its source position. `line`/`col` are 1-based
+/// into the config text; 0 means "whole config" (e.g. an empty graph).
+struct GraphDiag {
+  std::string message;
+  int line = 0;
+  int col = 0;
+
+  /// "line 3:14: unknown element type: Foo" (position omitted when 0).
+  [[nodiscard]] std::string ToString() const;
+};
+
 class MboxGraph {
  public:
   /// Parses and builds a graph. Returns nullptr with *error on failure
-  /// (unknown element type, bad config, bad wiring, no elements).
+  /// (unknown element type, bad config, bad wiring, no elements). The
+  /// error string carries the line:col position (GraphDiag::ToString).
   static std::unique_ptr<MboxGraph> Build(std::string_view config_text,
                                           const ElementContext& ctx,
                                           std::string* error);
+
+  /// Same, with the position preserved in structured form for tooling
+  /// (the iotsec_lint graph linter threads it into G0xx findings).
+  static std::unique_ptr<MboxGraph> Build(std::string_view config_text,
+                                          const ElementContext& ctx,
+                                          GraphDiag* diag);
 
   /// Injects a packet into the entry element.
   void Inject(net::PacketPtr pkt);
@@ -39,6 +57,8 @@ class MboxGraph {
   void SetAlertSink(std::function<void(Alert)> sink);
 
   [[nodiscard]] Element* Find(const std::string& name) const;
+  /// The packet injection point (never null after a successful Build).
+  [[nodiscard]] Element* entry() const { return entry_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Element>>& elements()
       const {
     return elements_;

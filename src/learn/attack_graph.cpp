@@ -85,10 +85,38 @@ std::optional<AttackPlan> AttackGraph::FindPlan(
   }
 
   AttackPlan plan;
+  plan.goal = goal;
   for (std::size_t idx : fire_order) {
     if (needed.count(idx)) plan.steps.push_back(&exploits_[idx]);
   }
   return plan;
+}
+
+std::vector<std::string> AttackGraph::ReachableGoals() const {
+  const auto reachable = ReachableFacts();
+  std::vector<std::string> goals;
+  for (const char* terminal : {"physical_entry", "ddos_launchpad"}) {
+    if (reachable.count(terminal) && !initial_facts_.count(terminal)) {
+      goals.emplace_back(terminal);
+    }
+  }
+  // std::set iteration keeps the ctrl:dev:* block sorted by device name.
+  for (const auto& fact : reachable) {
+    if (fact.rfind("ctrl:dev:", 0) == 0 && !initial_facts_.count(fact)) {
+      goals.push_back(fact);
+    }
+  }
+  return goals;
+}
+
+std::vector<AttackPlan> AttackGraph::ExportPaths(
+    const std::vector<std::string>& goals) const {
+  std::vector<AttackPlan> plans;
+  for (const auto& goal : goals) {
+    if (initial_facts_.count(goal)) continue;
+    if (auto plan = FindPlan(goal)) plans.push_back(std::move(*plan));
+  }
+  return plans;
 }
 
 AttackGraph BuildAttackGraph(

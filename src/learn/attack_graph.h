@@ -30,7 +30,12 @@ struct Exploit {
 };
 
 struct AttackPlan {
+  /// The goal fact this plan reaches (set by FindPlan/ExportPaths).
+  std::string goal;
   std::vector<const Exploit*> steps;  // in execution order
+  /// True for multi-stage paths (≥2 steps) — the ones §4.2's coverage
+  /// analysis must prove the policy cuts.
+  [[nodiscard]] bool IsMultiStage() const { return steps.size() >= 2; }
   [[nodiscard]] std::string ToString() const;
 };
 
@@ -55,6 +60,19 @@ class AttackGraph {
   /// nullopt when unreachable.
   [[nodiscard]] std::optional<AttackPlan> FindPlan(
       const std::string& goal) const;
+
+  /// The high-value goal facts this graph can actually reach, in
+  /// deterministic order: the canonical terminal compromises
+  /// ("physical_entry", "ddos_launchpad") plus every reachable
+  /// device-control fact ("ctrl:dev:*"). The static verifier's
+  /// attack-path coverage runs over exactly these.
+  [[nodiscard]] std::vector<std::string> ReachableGoals() const;
+
+  /// One minimal plan per reachable goal — the path export the
+  /// cross-layer verifier consumes. Goals that are initial facts or
+  /// unreachable are skipped; order follows `goals`.
+  [[nodiscard]] std::vector<AttackPlan> ExportPaths(
+      const std::vector<std::string>& goals) const;
 
  private:
   std::set<std::string> initial_facts_;

@@ -77,6 +77,9 @@ PolicyAnalysis AnalyzePolicy(const FsmPolicy& policy, const StateSpace& space,
       // Enumerate the projected space exactly; unconstrained dimensions
       // stay at value 0 (they cannot change the verdict).
       std::set<Posture> postures;
+      DeviceEnumeration enumeration;
+      enumeration.enumerated = true;
+      std::set<std::size_t> winners;
       SystemState state = space.InitialState();
       std::vector<std::size_t> counter(dims.size(), 0);
       for (;;) {
@@ -84,6 +87,11 @@ PolicyAnalysis AnalyzePolicy(const FsmPolicy& policy, const StateSpace& space,
           state.values[dims[i]] = static_cast<int>(counter[i]);
         }
         postures.insert(policy.Evaluate(space, state, d));
+        if (const auto winner = policy.WinningRule(space, state, d)) {
+          winners.insert(*winner);
+        } else {
+          enumeration.default_states += 1;
+        }
         // Odometer increment.
         std::size_t pos = 0;
         while (pos < dims.size()) {
@@ -92,13 +100,12 @@ PolicyAnalysis AnalyzePolicy(const FsmPolicy& policy, const StateSpace& space,
           ++pos;
         }
         if (pos == dims.size()) break;
-        if (dims.empty()) break;
       }
-      if (dims.empty()) {
-        postures.insert(policy.Evaluate(space, space.InitialState(), d));
-      }
+      enumeration.winning_rules.assign(winners.begin(), winners.end());
+      out.enumeration[d] = std::move(enumeration);
       out.distinct_postures[d] = postures.size();
     } else {
+      out.enumeration[d] = DeviceEnumeration{};
       std::size_t rule_count = 0;
       for (const auto& r : policy.rules()) {
         if (r.device == d) ++rule_count;

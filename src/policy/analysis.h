@@ -25,6 +25,22 @@ struct PolicyConflict {
   std::string reason;
 };
 
+/// Exact per-device enumeration results, filled when the device's
+/// projected space fits under the enumeration limit. The static verifier
+/// reads these for exhaustiveness (default fall-through) and dead-rule
+/// detection; both are undecidable symbolically once predicates overlap.
+struct DeviceEnumeration {
+  /// False when the projection was too large — the fields below are
+  /// then unknown, not zero.
+  bool enumerated = false;
+  /// Projected states in which no rule matches and the device falls to
+  /// the policy's default posture.
+  double default_states = 0;
+  /// Rule indices (into FsmPolicy::rules()) that decide at least one
+  /// projected state. A device rule absent from this list is dead.
+  std::vector<std::size_t> winning_rules;
+};
+
 struct PolicyAnalysis {
   /// ∏ |dims| — the brute-force FSM size.
   double raw_states = 0;
@@ -37,6 +53,9 @@ struct PolicyAnalysis {
   std::map<DeviceId, std::size_t> distinct_postures;
   /// Independent dimension groups (referenced dimensions only).
   std::vector<std::vector<std::string>> partitions;
+
+  /// Per device: exact enumeration results (see DeviceEnumeration).
+  std::map<DeviceId, DeviceEnumeration> enumeration;
 
   std::vector<PolicyConflict> conflicts;
   std::vector<std::size_t> shadowed_rules;

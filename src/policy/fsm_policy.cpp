@@ -107,13 +107,21 @@ std::string PolicyRule::ToString() const {
 const Posture& FsmPolicy::Evaluate(const StateSpace& space,
                                    const SystemState& state,
                                    DeviceId device) const {
-  const PolicyRule* best = nullptr;
-  for (const auto& rule : rules_) {
+  const auto winner = WinningRule(space, state, device);
+  return winner ? rules_[*winner].posture : default_posture_;
+}
+
+std::optional<std::size_t> FsmPolicy::WinningRule(const StateSpace& space,
+                                                  const SystemState& state,
+                                                  DeviceId device) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const auto& rule = rules_[i];
     if (rule.device != device) continue;
     if (!rule.when.Matches(space, state)) continue;
-    if (best == nullptr || rule.priority > best->priority) best = &rule;
+    if (!best || rule.priority > rules_[*best].priority) best = i;
   }
-  return best != nullptr ? best->posture : default_posture_;
+  return best;
 }
 
 std::map<DeviceId, Posture> FsmPolicy::EvaluateAll(

@@ -89,6 +89,14 @@ class FsmPolicy {
                                         const SystemState& state,
                                         DeviceId device) const;
 
+  /// Index (into rules()) of the rule that decides (state, device) —
+  /// first highest-priority match, exactly Evaluate's choice — or
+  /// nullopt when the state falls through to the default posture. The
+  /// static verifier uses this to find dead rules and default fall-through.
+  [[nodiscard]] std::optional<std::size_t> WinningRule(
+      const StateSpace& space, const SystemState& state,
+      DeviceId device) const;
+
   /// Postures for every listed device (one Evaluate per device).
   [[nodiscard]] std::map<DeviceId, Posture> EvaluateAll(
       const StateSpace& space, const SystemState& state,

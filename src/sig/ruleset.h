@@ -16,6 +16,15 @@
 
 namespace iotsec::sig {
 
+/// One ruleset-lint finding. `code` is the stable diagnostic id the
+/// static verifier surfaces (R001 empty pattern, R002 duplicate sid,
+/// R003 folded-pattern duplicate).
+struct RuleLintIssue {
+  std::string code;
+  std::size_t rule_index = 0;  // index into the linted rule list
+  std::string message;
+};
+
 class RuleSet {
  public:
   RuleSet() = default;
@@ -45,6 +54,19 @@ class RuleSet {
 
   [[nodiscard]] std::size_t RuleCount() const { return rules_.size(); }
   [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Static hygiene checks over a rule list, cheap enough to run on
+  /// every load: R001 empty content pattern (matches everything at
+  /// offset 0 — almost always an authoring error), R002 duplicate sid
+  /// (alerts become un-attributable), R003 a rule whose case-folded
+  /// content-pattern set duplicates another rule's (the DFA carries the
+  /// same states twice; usually a copy-paste rule that only meant to
+  /// change the header). Deterministic order: by rule index, then code.
+  [[nodiscard]] static std::vector<RuleLintIssue> Lint(
+      const std::vector<Rule>& rules);
+  [[nodiscard]] std::vector<RuleLintIssue> Lint() const {
+    return Lint(rules_);
+  }
 
   /// The current shared compile (nullptr until first EnsureCompiled, or
   /// stale while edits are pending). Identity comparison across RuleSets

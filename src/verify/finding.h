@@ -1,0 +1,87 @@
+// Diagnostic model for the whole-deployment static verifier.
+//
+// A Finding is one clang-tidy-style diagnostic: a stable code, a
+// severity, the object it is about, an optional source position (for
+// µmbox-graph configs the position is line:col inside the config text),
+// and a human-readable message. The catalogue:
+//
+//   P0xx — policy layer (FsmPolicy over a StateSpace)
+//     P001 error  non-exhaustive policy falls open: a device falls to the
+//                 implicit default posture in a reachable state and that
+//                 default is weaker than "monitor"
+//     P002 warn   rule shadowed by a higher-priority subsumer (symbolic)
+//     P003 error  same-priority overlapping rules demand different postures
+//     P004 error  quarantine unreachable: in a state where a device's
+//                 security context is "suspicious"/"unpatched"/
+//                 "compromised", its traffic is not tunneled through any
+//                 enforcing µmbox
+//     P005 warn   dead rule: decides no reachable state (enumerated)
+//     P006 error  rule predicate can never match (unknown dimension or
+//                 no valid value — a typo'd quarantine rule fails open)
+//     P007 warn   posture tunnels traffic but carries an empty µmbox
+//                 config (diversion to a µmbox that does not exist)
+//     P008 error  policy text does not parse (file mode)
+//
+//   G0xx — dataplane layer (Click-lite µmbox graphs)
+//     G001 error  config does not parse/build (position from GraphDiag)
+//     G002 warn   unknown config key for the element type (silently
+//                 ignored at build time — almost always a typo)
+//     G003 warn   element unreachable from the entry point
+//     G004 error  wiring cycle (packets loop forever)
+//     G005 error  wired output port beyond the element type's arity
+//                 (packets never leave on that port; downstream is dead)
+//     G006 error  dangling output port bypasses downstream security
+//                 elements (packets silently egress past the DPI/filter
+//                 chain — fail-open)
+//
+//   R0xx — ruleset layer (Snort-lite rules; RuleSet::Lint)
+//     R001 warn   empty content pattern
+//     R002 error  duplicate sid
+//     R003 warn   folded content patterns duplicate another rule
+//     R004 error  rule text does not parse
+//
+//   X0xx — cross-layer (attack-path coverage)
+//     X001 error  multi-stage attack path with no hop guarded by a
+//                 blocking/scanning µmbox in every state along the path
+//     X002 warn   path only partially covered: the best hop's guard
+//                 disappears in some state along the path
+//     X003 info   path covered (records the guarding hop)
+#pragma once
+
+#include <string>
+
+namespace iotsec::verify {
+
+enum class Severity : int { kInfo = 0, kWarn = 1, kError = 2 };
+
+[[nodiscard]] constexpr const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+struct Finding {
+  std::string code;     // "P001", "G004", ...
+  Severity severity = Severity::kWarn;
+  /// What the finding is about: "policy rule window-guard",
+  /// "posture quarantine", "graph examples/lint/defect_cycle.click", ...
+  std::string object;
+  /// 1-based position inside the object's source text (µmbox configs,
+  /// rule files); 0 when not applicable.
+  int line = 0;
+  int col = 0;
+  std::string message;
+
+  /// "error P001 [posture trust]: ..." (+" @line:col" when positioned).
+  [[nodiscard]] std::string ToString() const;
+
+  /// Deterministic report order: severity desc, code, object, position,
+  /// message.
+  [[nodiscard]] bool operator<(const Finding& other) const;
+  [[nodiscard]] bool operator==(const Finding& other) const = default;
+};
+
+}  // namespace iotsec::verify

@@ -1,0 +1,46 @@
+// Click-lite µmbox graph linter (G0xx findings).
+//
+// Dry-builds the config through MboxGraph::Build (no packets flow, no
+// simulator needed), then checks the wiring topology and the declared
+// configuration against the element-type registry.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "dataplane/element.h"
+#include "policy/fsm_policy.h"
+#include "verify/report.h"
+
+namespace iotsec::verify {
+
+/// Lints one µmbox config. `origin` labels the findings ("posture
+/// quarantine", "graph examples/lint/defect_cycle.click", ...).
+/// Findings carry 1-based line:col positions into `config_text`.
+/// Returns true when the config at least builds (G001 absent).
+bool LintGraphConfig(std::string_view config_text,
+                     const dataplane::ElementContext& ctx,
+                     const std::string& origin, Report& report);
+
+/// True when the config builds and some blocking or scanning element is
+/// reachable from the entry — i.e. the µmbox actually enforces/observes
+/// something. The policy checker and attack-path coverage key on this.
+bool GraphEnforces(std::string_view config_text,
+                   const dataplane::ElementContext& ctx);
+
+/// Memoized "does this posture enforce anything" — tunnel on, non-empty
+/// config, and GraphEnforces. Policies evaluate the same few postures
+/// across thousands of enumerated states; building the graph once per
+/// distinct config keeps the verifier fast.
+class PostureCache {
+ public:
+  explicit PostureCache(const dataplane::ElementContext& ctx) : ctx_(ctx) {}
+  bool Enforces(const policy::Posture& posture);
+
+ private:
+  dataplane::ElementContext ctx_;
+  std::map<std::string, bool> enforces_;
+};
+
+}  // namespace iotsec::verify

@@ -1,0 +1,33 @@
+// Policy-layer static checks (P0xx findings).
+//
+// Builds on AnalyzePolicy (conflicts, shadowing, exact per-device
+// enumeration) and adds the fail-open checks the paper's §3.2 policy
+// abstraction makes decidable: exhaustiveness of the rule list over the
+// projected state space, quarantine reachability for degraded security
+// contexts, and unsatisfiable predicates that silently never fire.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataplane/element.h"
+#include "policy/analysis.h"
+#include "verify/report.h"
+
+namespace iotsec::verify {
+
+struct PolicyCheckInput {
+  const policy::StateSpace* space = nullptr;
+  const policy::FsmPolicy* policy = nullptr;
+  std::vector<DeviceId> devices;
+  /// Display names; also how ctx:<name> dimensions are located.
+  std::map<DeviceId, std::string> device_names;
+  dataplane::ElementContext element_ctx;
+  /// Per-device projected spaces above this are skipped, not enumerated.
+  double enumeration_limit = 1e6;
+};
+
+void CheckPolicy(const PolicyCheckInput& in, Report& report);
+
+}  // namespace iotsec::verify

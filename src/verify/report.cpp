@@ -1,0 +1,113 @@
+#include "verify/report.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace iotsec::verify {
+
+std::string Finding::ToString() const {
+  std::string out = SeverityName(severity);
+  out += " ";
+  out += code;
+  out += " [";
+  out += object;
+  out += "]";
+  if (line > 0) {
+    out += " @" + std::to_string(line) + ":" + std::to_string(col);
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+bool Finding::operator<(const Finding& other) const {
+  // Errors first so the console shows the gating findings at the top.
+  const int sev_a = -static_cast<int>(severity);
+  const int sev_b = -static_cast<int>(other.severity);
+  return std::tie(sev_a, code, object, line, col, message) <
+         std::tie(sev_b, other.code, other.object, other.line, other.col,
+                  other.message);
+}
+
+void Report::Finalize() {
+  std::sort(findings_.begin(), findings_.end());
+  findings_.erase(std::unique(findings_.begin(), findings_.end()),
+                  findings_.end());
+}
+
+std::size_t Report::CountAtLeast(Severity floor) const {
+  std::size_t n = 0;
+  for (const auto& f : findings_) {
+    if (static_cast<int>(f.severity) >= static_cast<int>(floor)) ++n;
+  }
+  return n;
+}
+
+std::string Report::ToText() const {
+  std::string out;
+  for (const auto& f : findings_) {
+    out += f.ToString();
+    out += '\n';
+  }
+  const auto errors = CountAtLeast(Severity::kError);
+  const auto warns = CountAtLeast(Severity::kWarn) - errors;
+  out += std::to_string(findings_.size()) + " finding(s): " +
+         std::to_string(errors) + " error(s), " + std::to_string(warns) +
+         " warning(s), " +
+         std::to_string(findings_.size() - errors - warns) + " info(s)\n";
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Report::ToJson() const {
+  std::string out = "{\"findings\":[";
+  for (std::size_t i = 0; i < findings_.size(); ++i) {
+    const auto& f = findings_[i];
+    if (i) out += ',';
+    out += "{\"code\":\"" + JsonEscape(f.code) + "\"";
+    out += ",\"severity\":\"";
+    out += SeverityName(f.severity);
+    out += "\"";
+    out += ",\"object\":\"" + JsonEscape(f.object) + "\"";
+    out += ",\"line\":" + std::to_string(f.line);
+    out += ",\"col\":" + std::to_string(f.col);
+    out += ",\"message\":\"" + JsonEscape(f.message) + "\"}";
+  }
+  const auto errors = CountAtLeast(Severity::kError);
+  const auto warns = CountAtLeast(Severity::kWarn) - errors;
+  out += "],\"errors\":" + std::to_string(errors);
+  out += ",\"warnings\":" + std::to_string(warns);
+  out += ",\"infos\":" +
+         std::to_string(findings_.size() - errors - warns);
+  out += "}";
+  return out;
+}
+
+}  // namespace iotsec::verify

@@ -1,0 +1,46 @@
+// Deterministic finding collection + text/JSON emitters.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "verify/finding.h"
+
+namespace iotsec::verify {
+
+class Report {
+ public:
+  void Add(Finding finding) { findings_.push_back(std::move(finding)); }
+  void Add(std::string code, Severity severity, std::string object,
+           std::string message, int line = 0, int col = 0) {
+    findings_.push_back({std::move(code), severity, std::move(object), line,
+                         col, std::move(message)});
+  }
+
+  /// Sorts into the canonical order (Finding::operator<) and drops exact
+  /// duplicates. Call once after all checks ran; emitters assume it.
+  void Finalize();
+
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] std::size_t CountAtLeast(Severity floor) const;
+  [[nodiscard]] bool HasErrors() const {
+    return CountAtLeast(Severity::kError) > 0;
+  }
+  [[nodiscard]] bool HasWarnings() const {
+    return CountAtLeast(Severity::kWarn) > 0;
+  }
+
+  /// clang-tidy-style text: one line per finding plus a summary line.
+  [[nodiscard]] std::string ToText() const;
+  /// {"findings":[{code,severity,object,line,col,message},...],
+  ///  "errors":N,"warnings":N,"infos":N}
+  [[nodiscard]] std::string ToJson() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace iotsec::verify

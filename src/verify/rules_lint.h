@@ -1,0 +1,19 @@
+// Snort-lite ruleset linting (R0xx findings), wrapping RuleSet::Lint.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "verify/report.h"
+
+namespace iotsec::verify {
+
+/// Parses `rules_text` (newline-separated rule language) and reports:
+///   R004 error  per line that fails to parse
+///   R001/R002/R003 from sig::RuleSet::Lint over the rules that did parse
+/// `origin` labels the findings ("rules examples/lint/defect.rules",
+/// "posture monitor inline rules", ...). Returns the number of findings.
+std::size_t LintRulesText(std::string_view rules_text,
+                          const std::string& origin, Report& report);
+
+}  // namespace iotsec::verify

@@ -1,0 +1,110 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "verify/graph_lint.h"
+
+namespace iotsec::verify {
+namespace {
+
+/// Lints every distinct µmbox config the policy's postures carry, labeled
+/// by the first posture that introduced it.
+void LintPostureGraphs(const VerifyInput& in, Report& report) {
+  std::set<std::string> seen;
+  auto lint = [&](const policy::Posture& posture, const std::string& where) {
+    if (Trim(posture.umbox_config).empty()) return;
+    if (!seen.insert(posture.umbox_config).second) return;
+    LintGraphConfig(posture.umbox_config, in.element_ctx,
+                    "posture '" + posture.profile + "' (" + where + ")",
+                    report);
+  };
+  for (const auto& rule : in.policy->rules()) {
+    lint(rule.posture, "rule '" + rule.name + "'");
+  }
+  lint(in.policy->DefaultPosture(), "default");
+}
+
+}  // namespace
+
+Report Verify(const VerifyInput& in) {
+  Report report;
+  if (in.policy) {
+    if (in.space) {
+      PolicyCheckInput pin;
+      pin.space = in.space;
+      pin.policy = in.policy;
+      pin.devices = in.devices;
+      pin.device_names = in.device_names;
+      pin.element_ctx = in.element_ctx;
+      pin.enumeration_limit = in.enumeration_limit;
+      CheckPolicy(pin, report);
+    }
+    LintPostureGraphs(in, report);
+    if (in.space && in.attack_graph) {
+      CoverageInput cin;
+      cin.space = in.space;
+      cin.policy = in.policy;
+      cin.attack_graph = in.attack_graph;
+      cin.goals = in.goals;
+      cin.device_names = in.device_names;
+      cin.element_ctx = in.element_ctx;
+      CheckAttackCoverage(cin, report);
+    }
+  }
+  report.Finalize();
+  return report;
+}
+
+policy::StateSpace SynthesizeStateSpace(
+    const policy::FsmPolicy& policy,
+    const std::map<DeviceId, std::string>& device_names) {
+  using policy::Dimension;
+  using policy::DimensionKind;
+  using policy::StateSpace;
+
+  StateSpace space;
+  std::set<std::string> have;
+  for (const auto& [id, name] : device_names) {
+    Dimension dim;
+    dim.name = StateSpace::ContextDim(name);
+    dim.kind = DimensionKind::kDeviceContext;
+    dim.device = id;
+    dim.values = policy::DefaultSecurityContexts();
+    have.insert(dim.name);
+    space.AddDimension(std::move(dim));
+  }
+
+  // Referenced dimensions, with their referenced values, in name order.
+  std::map<std::string, std::set<std::string>> referenced;
+  for (const auto& rule : policy.rules()) {
+    for (const auto& [dim_name, values] : rule.when.constraints) {
+      referenced[dim_name].insert(values.begin(), values.end());
+    }
+  }
+  for (const auto& [dim_name, values] : referenced) {
+    if (have.count(dim_name)) continue;
+    Dimension dim;
+    dim.name = dim_name;
+    if (StartsWith(dim_name, "ctx:")) {
+      dim.kind = DimensionKind::kDeviceContext;
+      dim.values = policy::DefaultSecurityContexts();
+      for (const auto& v : values) {
+        if (std::find(dim.values.begin(), dim.values.end(), v) ==
+            dim.values.end()) {
+          dim.values.push_back(v);
+        }
+      }
+    } else {
+      dim.kind = StartsWith(dim_name, "dev:") ? DimensionKind::kDeviceState
+                                              : DimensionKind::kEnvVar;
+      dim.values.emplace_back("__other__");
+      dim.values.insert(dim.values.end(), values.begin(), values.end());
+    }
+    space.AddDimension(std::move(dim));
+  }
+  return space;
+}
+
+}  // namespace iotsec::verify

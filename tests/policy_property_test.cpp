@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "policy/analysis.h"
+#include "verify/verifier.h"
 
 namespace iotsec::policy {
 namespace {
@@ -169,6 +170,49 @@ TEST_P(PredicatePropertyTest, ShadowedRulesNeverWin) {
               << rs.space.Describe(s);
         }
       });
+    }
+  }
+}
+
+TEST_P(PredicatePropertyTest, StaticVerifierNeverCrashesAndIsDeterministic) {
+  // The verifier must digest any policy the generator produces — including
+  // conflicting, shadowed, and never-matching rules — without crashing,
+  // and must report the same findings on every run.
+  Rng rng(GetParam() ^ 0x7e1f);
+  for (int round = 0; round < 20; ++round) {
+    RandomSpace rs(rng);
+    FsmPolicy policy;
+    Posture def;
+    def.profile = "default";
+    policy.SetDefault(def);
+    const DeviceId device = 1;
+    const int n_rules = static_cast<int>(rng.NextBelow(5));
+    for (int r = 0; r < n_rules; ++r) {
+      PolicyRule rule;
+      rule.name = "r" + std::to_string(r);
+      rule.when = rs.RandomPredicate(rng);
+      // Occasionally constrain a dimension the space does not have, the
+      // P006 shape.
+      if (rng.NextBool(0.2)) rule.when.And("ctx:ghost", "suspicious");
+      rule.device = device;
+      rule.posture.profile = "p" + std::to_string(r);
+      rule.posture.tunnel = rng.NextBool(0.5);
+      rule.priority = static_cast<int>(rng.NextBelow(3));
+      policy.Add(std::move(rule));
+    }
+
+    verify::VerifyInput in;
+    in.space = &rs.space;
+    in.policy = &policy;
+    in.devices = {device};
+    in.device_names = {{device, "dev"}};
+    const auto first = verify::Verify(in);
+    const auto second = verify::Verify(in);
+    ASSERT_EQ(first.findings().size(), second.findings().size())
+        << "round " << round;
+    for (std::size_t i = 0; i < first.findings().size(); ++i) {
+      EXPECT_TRUE(first.findings()[i] == second.findings()[i])
+          << "round " << round << " finding " << i;
     }
   }
 }

@@ -1,0 +1,494 @@
+// iotsec-verify: the whole-deployment static verifier.
+//
+// Each check gets a seeded-defect fixture asserting the exact finding
+// code, plus clean fixtures asserting zero findings — the same contract
+// CI's iotsec_lint gate enforces over examples/lint/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/postures.h"
+#include "dataplane/graph.h"
+#include "learn/attack_graph.h"
+#include "sig/corpus.h"
+#include "sig/rule.h"
+#include "sig/ruleset.h"
+#include "verify/coverage.h"
+#include "verify/graph_lint.h"
+#include "verify/policy_check.h"
+#include "verify/rules_lint.h"
+#include "verify/verifier.h"
+
+namespace iotsec::verify {
+namespace {
+
+std::vector<std::string> Codes(const Report& report) {
+  std::vector<std::string> codes;
+  for (const auto& f : report.findings()) codes.push_back(f.code);
+  return codes;
+}
+
+bool Has(const Report& report, const std::string& code) {
+  const auto codes = Codes(report);
+  return std::find(codes.begin(), codes.end(), code) != codes.end();
+}
+
+// ---- RuleSet::Lint ---------------------------------------------------
+
+std::vector<sig::Rule> ParseAll(const std::string& text) {
+  return sig::ParseRules(text);
+}
+
+TEST(RuleSetLint, FlagsEmptyPattern) {
+  const auto rules = ParseAll(
+      "alert tcp any any -> any 80 (msg:\"empty\"; sid:1; content:\"\"; )\n");
+  const auto issues = sig::RuleSet::Lint(rules);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].code, "R001");
+  EXPECT_EQ(issues[0].rule_index, 0u);
+}
+
+TEST(RuleSetLint, FlagsDuplicateSid) {
+  const auto rules = ParseAll(
+      "alert tcp any any -> any 80 (msg:\"a\"; sid:7; content:\"aaa\"; )\n"
+      "alert tcp any any -> any 80 (msg:\"b\"; sid:7; content:\"bbb\"; )\n");
+  const auto issues = sig::RuleSet::Lint(rules);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].code, "R002");
+  EXPECT_EQ(issues[0].rule_index, 1u);
+}
+
+TEST(RuleSetLint, FlagsCaseFoldedDuplicatePatterns) {
+  // The DFA case-folds all patterns: "MiRaI" and "mirai" compile to the
+  // same states.
+  const auto rules = ParseAll(
+      "alert tcp any any -> any 80 (msg:\"a\"; sid:1; content:\"MiRaI\"; )\n"
+      "alert tcp any any -> any 80 (msg:\"b\"; sid:2; content:\"mirai\"; )\n");
+  const auto issues = sig::RuleSet::Lint(rules);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].code, "R003");
+  EXPECT_EQ(issues[0].rule_index, 1u);
+}
+
+TEST(RuleSetLint, CleanRulesetHasNoIssues) {
+  const auto rules = ParseAll(
+      "alert tcp any any -> any 80 (msg:\"a\"; sid:1; content:\"alpha\"; )\n"
+      "alert tcp any any -> any 80 (msg:\"b\"; sid:2; content:\"beta\"; )\n");
+  EXPECT_TRUE(sig::RuleSet::Lint(rules).empty());
+}
+
+TEST(RuleSetLint, BuiltinCorpusIsClean) {
+  EXPECT_TRUE(sig::RuleSet::Lint(sig::BuiltinRules()).empty());
+}
+
+TEST(RulesLint, ReportsParseErrorsWithLinePosition) {
+  Report report;
+  LintRulesText("this is not a rule\n", "rules test", report);
+  report.Finalize();
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "R004");
+  EXPECT_EQ(report.findings()[0].line, 1);
+}
+
+// ---- µmbox graph lint ------------------------------------------------
+
+Report LintGraph(const std::string& config) {
+  Report report;
+  LintGraphConfig(config, {}, "graph", report);
+  report.Finalize();
+  return report;
+}
+
+TEST(GraphLint, BuildFailureCarriesPosition) {
+  const auto report = LintGraph("cnt :: Counter\nbad :: Nope\n");
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "G001");
+  EXPECT_EQ(report.findings()[0].line, 2);
+  EXPECT_GT(report.findings()[0].col, 0);
+}
+
+TEST(GraphLint, LegacyBuildErrorStringCarriesPosition) {
+  // Satellite: MboxGraph::Build's plain-string error now embeds the
+  // line:col position so any existing caller's message is addressable.
+  std::string error;
+  const auto graph =
+      dataplane::MboxGraph::Build("cnt :: Counter\nbad :: Nope\n", {}, &error);
+  EXPECT_EQ(graph, nullptr);
+  EXPECT_NE(error.find("line 2:"), std::string::npos) << error;
+}
+
+TEST(GraphLint, FlagsUnknownConfigKey) {
+  const auto report = LintGraph(
+      "rl :: RateLimiter(rate_pps=10, brust=5)\nentry rl\n");
+  ASSERT_TRUE(Has(report, "G002"));
+  const auto& f = report.findings()[0];
+  EXPECT_EQ(f.line, 1);
+  EXPECT_GT(f.col, 1);  // points at the key, not the line start
+}
+
+TEST(GraphLint, FlagsUnreachableElement) {
+  const auto report =
+      LintGraph("a :: Counter\nb :: Counter\nentry a\n");
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"G003"});
+}
+
+TEST(GraphLint, FlagsWiringCycle) {
+  const auto report =
+      LintGraph("a :: Counter\nb :: Counter\nentry a\na -> b\nb -> a\n");
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"G004"});
+}
+
+TEST(GraphLint, FlagsPortBeyondArity) {
+  // Counter only emits on port 0; wiring port 1 is dead downstream.
+  const auto report =
+      LintGraph("c :: Counter\nd :: Discard\nentry c\nc [1] -> d\n");
+  EXPECT_TRUE(Has(report, "G005"));
+}
+
+TEST(GraphLint, FlagsDanglingPortBypassingSecurity) {
+  const auto report = LintGraph(
+      "cnt :: Counter\nsplit :: Tee(ports=2)\n"
+      "sig :: SignatureMatcher(rules=builtin)\n"
+      "entry cnt\ncnt -> split\nsplit [0] -> sig\n");
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"G006"});
+}
+
+TEST(GraphLint, TerminalSecurityElementIsNotDangling) {
+  // The last element of a chain legitimately egresses on its unconnected
+  // port — that is the normal exit, not a bypass.
+  const auto report = LintGraph(
+      "cnt :: Counter\nsig :: SignatureMatcher(rules=builtin)\n"
+      "entry cnt\ncnt -> sig\n");
+  EXPECT_TRUE(report.findings().empty()) << report.ToText();
+}
+
+TEST(GraphLint, InlineSignatureRulesAreLinted) {
+  // Config values strip quotes and cannot span lines, so inline rules
+  // are single-line rules with unquoted fields. A valid one lints clean;
+  // the R0xx fixtures exercise the shared lint through --rules files.
+  const auto report = LintGraph(
+      "sig :: SignatureMatcher(rules=alert tcp any any -> any 80 "
+      "(msg:inline; sid:5; content:evil; ))\nentry sig\n");
+  EXPECT_TRUE(report.findings().empty()) << report.ToText();
+}
+
+TEST(GraphLint, CanonicalPosturesAreClean) {
+  for (const auto& posture :
+       {core::MonitorPosture(), core::QuarantinePosture(),
+        core::ContextGatePosture(proto::IotCommand::kTurnOn,
+                                 "device.cam.state", "person_detected")}) {
+    Report report;
+    LintGraphConfig(posture.umbox_config, {}, posture.profile, report);
+    report.Finalize();
+    EXPECT_TRUE(report.findings().empty())
+        << posture.profile << ":\n" << report.ToText();
+  }
+}
+
+TEST(GraphLint, GraphEnforcesDistinguishesPlumbingFromSecurity) {
+  EXPECT_TRUE(GraphEnforces("d :: Discard\nentry d\n", {}));
+  EXPECT_FALSE(GraphEnforces("c :: Counter\nentry c\n", {}));
+  EXPECT_FALSE(GraphEnforces("", {}));
+}
+
+// ---- policy checks ---------------------------------------------------
+
+policy::StateSpace CamSpace() {
+  policy::StateSpace space;
+  policy::Dimension ctx;
+  ctx.name = "ctx:cam";
+  ctx.kind = policy::DimensionKind::kDeviceContext;
+  ctx.device = 1;
+  ctx.values = policy::DefaultSecurityContexts();
+  space.AddDimension(std::move(ctx));
+  return space;
+}
+
+Report CheckCamPolicy(const policy::FsmPolicy& policy,
+                      const policy::StateSpace& space) {
+  PolicyCheckInput in;
+  in.space = &space;
+  in.policy = &policy;
+  in.devices = {1};
+  in.device_names = {{1, "cam"}};
+  Report report;
+  CheckPolicy(in, report);
+  report.Finalize();
+  return report;
+}
+
+TEST(PolicyCheck, NonExhaustiveTrustDefaultFailsOpen) {
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::TrustPosture());
+  policy::PolicyRule rule;
+  rule.name = "only-compromised";
+  rule.when = policy::StatePredicate::Eq("ctx:cam", "compromised");
+  rule.device = 1;
+  rule.posture = core::QuarantinePosture();
+  rule.priority = 10;
+  policy.Add(rule);
+
+  const auto report = CheckCamPolicy(policy, space);
+  EXPECT_TRUE(Has(report, "P001")) << report.ToText();
+  EXPECT_TRUE(Has(report, "P004")) << report.ToText();
+}
+
+TEST(PolicyCheck, ExhaustiveMonitorDefaultIsClean) {
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  const auto report = CheckCamPolicy(policy, space);
+  EXPECT_TRUE(report.findings().empty()) << report.ToText();
+}
+
+TEST(PolicyCheck, ShadowedRuleIsDeadToo) {
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  policy::PolicyRule broad;
+  broad.name = "broad";
+  broad.when.AndIn("ctx:cam", {"suspicious", "compromised"});
+  broad.device = 1;
+  broad.posture = core::QuarantinePosture();
+  broad.priority = 10;
+  policy.Add(broad);
+  policy::PolicyRule narrow = broad;
+  narrow.name = "narrow";
+  narrow.when = policy::StatePredicate::Eq("ctx:cam", "suspicious");
+  narrow.priority = 5;
+  policy.Add(narrow);
+
+  const auto report = CheckCamPolicy(policy, space);
+  EXPECT_TRUE(Has(report, "P002")) << report.ToText();
+  EXPECT_TRUE(Has(report, "P005")) << report.ToText();
+}
+
+TEST(PolicyCheck, SamePriorityConflict) {
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  policy::PolicyRule a;
+  a.name = "a";
+  a.when = policy::StatePredicate::Eq("ctx:cam", "suspicious");
+  a.device = 1;
+  a.posture = core::QuarantinePosture();
+  a.priority = 10;
+  policy.Add(a);
+  policy::PolicyRule b = a;
+  b.name = "b";
+  b.posture = core::MonitorPosture();
+  policy.Add(b);
+
+  EXPECT_TRUE(Has(CheckCamPolicy(policy, space), "P003"));
+}
+
+TEST(PolicyCheck, UnsatisfiablePredicates) {
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  policy::PolicyRule typo_dim;
+  typo_dim.name = "typo-dim";
+  typo_dim.when = policy::StatePredicate::Eq("ctx:camm", "suspicious");
+  typo_dim.device = 1;
+  typo_dim.posture = core::QuarantinePosture();
+  typo_dim.priority = 10;
+  policy.Add(typo_dim);
+  policy::PolicyRule typo_value;
+  typo_value.name = "typo-value";
+  typo_value.when = policy::StatePredicate::Eq("ctx:cam", "suspiciouss");
+  typo_value.device = 1;
+  typo_value.posture = core::QuarantinePosture();
+  typo_value.priority = 5;
+  policy.Add(typo_value);
+
+  const auto report = CheckCamPolicy(policy, space);
+  std::size_t p006 = 0;
+  for (const auto& f : report.findings()) {
+    if (f.code == "P006") ++p006;
+  }
+  EXPECT_EQ(p006, 2u) << report.ToText();
+}
+
+TEST(PolicyCheck, TunnelIntoEmptyConfig) {
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  policy::PolicyRule rule;
+  rule.name = "empty-tunnel";
+  rule.when = policy::StatePredicate::Any();
+  rule.device = 1;
+  rule.posture.profile = "broken";
+  rule.posture.umbox_config = "";
+  rule.posture.tunnel = true;
+  rule.priority = 10;
+  policy.Add(rule);
+
+  EXPECT_TRUE(Has(CheckCamPolicy(policy, space), "P007"));
+}
+
+// ---- attack-path coverage --------------------------------------------
+
+learn::AttackGraph TwoStageGraph() {
+  learn::AttackGraph graph;
+  graph.AddFact("net_access");
+  graph.AddExploit(
+      {"compromise cam", {"net_access"}, {"ctrl:dev:cam"}, DeviceId{1}});
+  graph.AddExploit(
+      {"pivot to entry", {"ctrl:dev:cam"}, {"physical_entry"}, DeviceId{1}});
+  return graph;
+}
+
+Report CheckCoverage(const policy::FsmPolicy& policy,
+                     const policy::StateSpace& space,
+                     const learn::AttackGraph& graph) {
+  CoverageInput in;
+  in.space = &space;
+  in.policy = &policy;
+  in.attack_graph = &graph;
+  in.device_names = {{1, "cam"}};
+  Report report;
+  CheckAttackCoverage(in, report);
+  report.Finalize();
+  return report;
+}
+
+TEST(Coverage, UncoveredPathIsAnError) {
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::TrustPosture());
+  const auto report = CheckCoverage(policy, space, TwoStageGraph());
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"X001"});
+}
+
+TEST(Coverage, AlwaysGuardedPathIsCovered) {
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  const auto report = CheckCoverage(policy, space, TwoStageGraph());
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"X003"});
+}
+
+TEST(Coverage, GuardThatEvaporatesOnCompromiseIsPartial) {
+  // The posture enforces only while the context is "normal": once step 1
+  // flips ctx:cam to "compromised", the guard disappears — exactly the
+  // fail-open shape X002 exists for.
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::TrustPosture());
+  policy::PolicyRule rule;
+  rule.name = "guard-only-normal";
+  rule.when = policy::StatePredicate::Eq("ctx:cam", "normal");
+  rule.device = 1;
+  rule.posture = core::QuarantinePosture();
+  rule.priority = 10;
+  policy.Add(rule);
+
+  const auto report = CheckCoverage(policy, space, TwoStageGraph());
+  EXPECT_TRUE(Has(report, "X002")) << report.ToText();
+}
+
+TEST(Coverage, SingleStagePlansAreSkipped) {
+  learn::AttackGraph graph;
+  graph.AddFact("net_access");
+  graph.AddExploit(
+      {"compromise cam", {"net_access"}, {"ctrl:dev:cam"}, DeviceId{1}});
+  const auto space = CamSpace();
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::TrustPosture());
+  EXPECT_TRUE(CheckCoverage(policy, space, graph).findings().empty());
+}
+
+// ---- attack graph path export ----------------------------------------
+
+TEST(AttackGraphExport, ReachableGoalsAndPlansAreDeterministic) {
+  const auto graph = TwoStageGraph();
+  const auto goals = graph.ReachableGoals();
+  ASSERT_EQ(goals.size(), 2u);
+  EXPECT_EQ(goals[0], "physical_entry");
+  EXPECT_EQ(goals[1], "ctrl:dev:cam");
+  const auto plans = graph.ExportPaths(goals);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].goal, "physical_entry");
+  EXPECT_TRUE(plans[0].IsMultiStage());
+  EXPECT_FALSE(plans[1].IsMultiStage());
+}
+
+// ---- orchestration ---------------------------------------------------
+
+TEST(Verifier, SynthesizedSpaceMakesFilePoliciesCheckable) {
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  policy::PolicyRule rule;
+  rule.name = "smoke";
+  rule.when = policy::StatePredicate::Eq("env:smoke", "on");
+  rule.device = 1;
+  rule.posture = core::QuarantinePosture();
+  rule.priority = 10;
+  policy.Add(rule);
+
+  const auto space = SynthesizeStateSpace(policy, {{1, "cam"}});
+  ASSERT_TRUE(space.IndexOf("ctx:cam").has_value());
+  const auto smoke = space.IndexOf("env:smoke");
+  ASSERT_TRUE(smoke.has_value());
+  // "__other__" leads so the initial state does not satisfy the rule.
+  EXPECT_EQ(space.Dim(*smoke).values.front(), "__other__");
+  EXPECT_EQ(space.Dim(*smoke).values.size(), 2u);
+
+  VerifyInput in;
+  in.space = &space;
+  in.policy = &policy;
+  in.devices = {1};
+  in.device_names = {{1, "cam"}};
+  const auto report = Verify(in);
+  EXPECT_TRUE(report.findings().empty()) << report.ToText();
+}
+
+TEST(Verifier, VerifyLintsEveryDistinctPostureGraph) {
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  policy::PolicyRule rule;
+  rule.name = "cyclic";
+  rule.when = policy::StatePredicate::Any();
+  rule.device = 1;
+  rule.posture.profile = "cyclic";
+  rule.posture.umbox_config =
+      "a :: Counter\nb :: Counter\nentry a\na -> b\nb -> a\n";
+  rule.priority = 10;
+  policy.Add(rule);
+
+  VerifyInput in;
+  in.policy = &policy;  // no state space: graph layer still runs
+  const auto report = Verify(in);
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"G004"});
+}
+
+TEST(Report, OrderIsDeterministicAndSeverityFirst) {
+  Report report;
+  report.Add("X003", Severity::kInfo, "b", "info");
+  report.Add("P002", Severity::kWarn, "a", "warn");
+  report.Add("G004", Severity::kError, "c", "error");
+  report.Add("G004", Severity::kError, "c", "error");  // exact dup
+  report.Finalize();
+  ASSERT_EQ(report.findings().size(), 3u);
+  EXPECT_EQ(report.findings()[0].code, "G004");
+  EXPECT_EQ(report.findings()[1].code, "P002");
+  EXPECT_EQ(report.findings()[2].code, "X003");
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_EQ(report.CountAtLeast(Severity::kWarn), 2u);
+}
+
+TEST(Report, JsonIsWellFormedAndEscaped) {
+  Report report;
+  report.Add("G001", Severity::kError, "graph \"x\"", "bad\nline", 2, 7);
+  report.Finalize();
+  const auto json = report.ToJson();
+  EXPECT_NE(json.find("\"code\":\"G001\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"graph \\\"x\\\"\""), std::string::npos) << json;
+  EXPECT_NE(json.find("bad\\nline"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace iotsec::verify
