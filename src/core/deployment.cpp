@@ -1,9 +1,43 @@
 #include "core/deployment.h"
 
+#include <algorithm>
+
 namespace iotsec::core {
 
+namespace {
+
+// Builds the execution engine before sim_ binds to it. Returns the legacy
+// simulator (sharding off) or null (the ShardSet owns the simulators).
+std::unique_ptr<sim::Simulator> MakeLegacySim(const DeploymentOptions& opt) {
+  return opt.shards >= 1 ? nullptr : std::make_unique<sim::Simulator>();
+}
+
+}  // namespace
+
 Deployment::Deployment(DeploymentOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      own_sim_(MakeLegacySim(options_)),
+      shard_set_([this]() -> std::unique_ptr<sim::ShardSet> {
+        if (own_sim_ != nullptr) return nullptr;
+        // One packet pool per shard, bound to the shard's thread so the
+        // free list is never touched concurrently.
+        for (int s = 0; s < options_.shards; ++s) {
+          shard_pools_.push_back(std::make_unique<net::PacketPool>());
+        }
+        sim::ShardSet::Options so;
+        so.shards = options_.shards;
+        // Conservative lookahead: every cross-shard hop is a device
+        // uplink, so its propagation delay bounds the quantum.
+        so.quantum = options_.shard_quantum != 0 ? options_.shard_quantum
+                                                 : options_.link.latency;
+        so.use_threads = options_.shard_threads;
+        so.enter_shard = [this](int s) {
+          net::PacketPool::BindToThisThread(
+              shard_pools_[static_cast<std::size_t>(s)].get());
+        };
+        return std::make_unique<sim::ShardSet>(std::move(so));
+      }()),
+      sim_(own_sim_ != nullptr ? *own_sim_ : shard_set_->sim(0)) {
   env_ = env::MakeSmartHomeEnvironment();
   env_->AttachTo(sim_, options_.env_tick);
 
@@ -77,13 +111,77 @@ Deployment::Deployment(DeploymentOptions options)
   }
 }
 
-Deployment::~Deployment() = default;
+Deployment::~Deployment() {
+  // The ShardSet constructor bound the caller thread to shard 0's pool;
+  // that pool dies with this deployment, so restore the global binding.
+  if (shard_set_ != nullptr) net::PacketPool::BindToThisThread(nullptr);
+}
 
 net::Link* Deployment::NewLink() {
   links_.push_back(std::make_unique<net::Link>(sim_, options_.link));
   net::Link* link = links_.back().get();
   if (chaos_ != nullptr) chaos_->AddLink(link);
   return link;
+}
+
+env::Environment* Deployment::EnvFor(DeviceId id) {
+  if (shard_set_ == nullptr) return env_.get();
+  auto it = env_replicas_.find(id);
+  if (it == env_replicas_.end()) {
+    auto replica = std::make_unique<EnvReplica>();
+    replica->env = env_->Replicate();
+    auto* writes = &replica->writes;
+    replica->env->SetWriteCapture(
+        [writes](const std::string& name, double value, SimTime now) {
+          writes->push_back(EnvWrite{now, name, value});
+        });
+    it = env_replicas_.emplace(id, std::move(replica)).first;
+  }
+  return it->second->env.get();
+}
+
+void Deployment::BarrierSync(SimTime now) {
+  // 1. Apply the quantum's captured device writes to the owner in one
+  //    canonical order — (time, variable, value) is a function of the
+  //    simulation, not of shard placement or thread timing.
+  pending_env_writes_.clear();
+  for (auto& [id, replica] : env_replicas_) {
+    for (EnvWrite& w : replica->writes) {
+      pending_env_writes_.push_back(std::move(w));
+    }
+    replica->writes.clear();
+  }
+  if (!pending_env_writes_.empty()) {
+    std::sort(pending_env_writes_.begin(), pending_env_writes_.end(),
+              [](const EnvWrite& a, const EnvWrite& b) {
+                if (a.at != b.at) return a.at < b.at;
+                if (a.name != b.name) return a.name < b.name;
+                return a.value < b.value;
+              });
+    for (const EnvWrite& w : pending_env_writes_) {
+      env_->SetValue(w.name, w.value, w.at);
+    }
+    pending_env_writes_.clear();
+  }
+  // 2. Fan the owner's state back out (device-id order ⇒ deterministic
+  //    replica-listener firing order) — but only when something changed.
+  if (env_->version() != synced_env_version_) {
+    synced_env_version_ = env_->version();
+    for (auto& [id, replica] : env_replicas_) {
+      replica->env->SyncFrom(*env_, now);
+    }
+  }
+  // 3. Snapshot network totals while every link counter is quiescent.
+  stats_snapshot_ = AggregateLinkStats();
+  link_count_snapshot_ = links_.size();
+}
+
+void Deployment::RunFor(SimDuration d) {
+  if (shard_set_ == nullptr) {
+    sim_.RunFor(d);
+    return;
+  }
+  shard_set_->RunFor(d, [this](SimTime now) { BarrierSync(now); });
 }
 
 fault::FaultInjector& Deployment::chaos() {
@@ -97,6 +195,11 @@ fault::FaultInjector& Deployment::chaos() {
 }
 
 Deployment::NetworkTotals Deployment::AggregateLinkStats() const {
+  if (shard_set_ != nullptr && shard_set_->running()) {
+    // Mid-quantum the counters belong to concurrently executing shards;
+    // the last barrier's snapshot is the newest consistent view.
+    return stats_snapshot_;
+  }
   NetworkTotals totals;
   for (const auto& link : links_) {
     for (int dir = 0; dir < 2; ++dir) {
@@ -134,6 +237,15 @@ devices::Device* Deployment::Attach(std::unique_ptr<devices::Device> device) {
   net::Link* link = NewLink();
   ptr->ConnectUplink(link, 0);
   const int port = switch_->AttachLink(link, 1);
+  if (shard_set_ != nullptr) {
+    // Device end (0) lives on the device's home shard, switch end (1) on
+    // shard 0. Bound regardless of where the hash lands the device — the
+    // bound path's behaviour is placement-independent, which is what
+    // makes a 1-shard run the reference for an N-shard run.
+    link->BindShards(shard_set_.get(),
+                     sdn::ShardOfDevice(ptr->id(), options_.shards),
+                     /*end1_shard=*/0);
+  }
   switch_->SetMacPort(ptr->spec().mac, port);
   controller_->RegisterDevice(ptr, switch_.get(), port);
   return ptr;
@@ -147,8 +259,9 @@ devices::Camera* Deployment::AddCamera(const std::string& name,
   spec.vendor = "Avtech";
   spec.sku = "Avtech-AVN801";
   spec.ram_kb = 8 * 1024;
-  return static_cast<devices::Camera*>(Attach(
-      std::make_unique<devices::Camera>(std::move(spec), sim_, env_.get())));
+  const DeviceId id = spec.id;
+  return static_cast<devices::Camera*>(Attach(std::make_unique<devices::Camera>(
+      std::move(spec), SimFor(id), EnvFor(id))));
 }
 
 devices::SmartPlug* Deployment::AddSmartPlug(
@@ -159,9 +272,11 @@ devices::SmartPlug* Deployment::AddSmartPlug(
   spec.vendor = "Belkin";
   spec.sku = "Wemo-Insight";
   spec.ram_kb = 2 * 1024;
+  const DeviceId id = spec.id;
   return static_cast<devices::SmartPlug*>(
       Attach(std::make_unique<devices::SmartPlug>(
-          std::move(spec), sim_, env_.get(), std::move(attached_env_var))));
+          std::move(spec), SimFor(id), EnvFor(id),
+          std::move(attached_env_var))));
 }
 
 devices::FireAlarm* Deployment::AddFireAlarm(const std::string& name) {
@@ -169,9 +284,10 @@ devices::FireAlarm* Deployment::AddFireAlarm(const std::string& name) {
   spec.vendor = "Nest";
   spec.sku = "Nest-Protect";
   spec.ram_kb = 1024;
+  const DeviceId id = spec.id;
   return static_cast<devices::FireAlarm*>(Attach(
-      std::make_unique<devices::FireAlarm>(std::move(spec), sim_,
-                                           env_.get())));
+      std::make_unique<devices::FireAlarm>(std::move(spec), SimFor(id),
+                                           EnvFor(id))));
 }
 
 devices::WindowActuator* Deployment::AddWindow(const std::string& name,
@@ -179,9 +295,10 @@ devices::WindowActuator* Deployment::AddWindow(const std::string& name,
   auto spec = MakeSpec(name, devices::DeviceClass::kWindowActuator, {},
                        std::move(credential));
   spec.ram_kb = 512;
+  const DeviceId id = spec.id;
   return static_cast<devices::WindowActuator*>(
-      Attach(std::make_unique<devices::WindowActuator>(std::move(spec), sim_,
-                                                       env_.get())));
+      Attach(std::make_unique<devices::WindowActuator>(
+          std::move(spec), SimFor(id), EnvFor(id))));
 }
 
 devices::LightBulb* Deployment::AddLightBulb(const std::string& name) {
@@ -189,17 +306,19 @@ devices::LightBulb* Deployment::AddLightBulb(const std::string& name) {
   spec.vendor = "Philips";
   spec.sku = "Hue-A19";
   spec.ram_kb = 256;
+  const DeviceId id = spec.id;
   return static_cast<devices::LightBulb*>(Attach(
-      std::make_unique<devices::LightBulb>(std::move(spec), sim_,
-                                           env_.get())));
+      std::make_unique<devices::LightBulb>(std::move(spec), SimFor(id),
+                                           EnvFor(id))));
 }
 
 devices::LightSensor* Deployment::AddLightSensor(const std::string& name) {
   auto spec = MakeSpec(name, devices::DeviceClass::kLightSensor);
   spec.ram_kb = 128;
+  const DeviceId id = spec.id;
   return static_cast<devices::LightSensor*>(Attach(
-      std::make_unique<devices::LightSensor>(std::move(spec), sim_,
-                                             env_.get())));
+      std::make_unique<devices::LightSensor>(std::move(spec), SimFor(id),
+                                             EnvFor(id))));
 }
 
 devices::Thermostat* Deployment::AddThermostat(const std::string& name) {
@@ -207,33 +326,37 @@ devices::Thermostat* Deployment::AddThermostat(const std::string& name) {
   spec.vendor = "Nest";
   spec.sku = "Nest-T3";
   spec.ram_kb = 4 * 1024;
+  const DeviceId id = spec.id;
   return static_cast<devices::Thermostat*>(Attach(
-      std::make_unique<devices::Thermostat>(std::move(spec), sim_,
-                                            env_.get())));
+      std::make_unique<devices::Thermostat>(std::move(spec), SimFor(id),
+                                            EnvFor(id))));
 }
 
 devices::MotionSensor* Deployment::AddMotionSensor(const std::string& name) {
   auto spec = MakeSpec(name, devices::DeviceClass::kMotionSensor);
   spec.ram_kb = 128;
+  const DeviceId id = spec.id;
   return static_cast<devices::MotionSensor*>(Attach(
-      std::make_unique<devices::MotionSensor>(std::move(spec), sim_,
-                                              env_.get())));
+      std::make_unique<devices::MotionSensor>(std::move(spec), SimFor(id),
+                                              EnvFor(id))));
 }
 
 devices::SmartLock* Deployment::AddSmartLock(const std::string& name) {
   auto spec = MakeSpec(name, devices::DeviceClass::kSmartLock);
   spec.ram_kb = 512;
+  const DeviceId id = spec.id;
   return static_cast<devices::SmartLock*>(Attach(
-      std::make_unique<devices::SmartLock>(std::move(spec), sim_,
-                                           env_.get())));
+      std::make_unique<devices::SmartLock>(std::move(spec), SimFor(id),
+                                           EnvFor(id))));
 }
 
 devices::SmartOven* Deployment::AddSmartOven(const std::string& name) {
   auto spec = MakeSpec(name, devices::DeviceClass::kSmartOven);
   spec.ram_kb = 2 * 1024;
+  const DeviceId id = spec.id;
   return static_cast<devices::SmartOven*>(Attach(
-      std::make_unique<devices::SmartOven>(std::move(spec), sim_,
-                                           env_.get())));
+      std::make_unique<devices::SmartOven>(std::move(spec), SimFor(id),
+                                           EnvFor(id))));
 }
 
 policy::StateSpace Deployment::BuildStateSpace() const {

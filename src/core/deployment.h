@@ -15,6 +15,7 @@
 //   dep.RunFor(5 * kSecond);
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,7 +29,10 @@
 #include "env/dynamics.h"
 #include "fault/fault_injector.h"
 #include "learn/model_library.h"
+#include "net/packet.h"
+#include "sdn/shard_map.h"
 #include "sdn/switch.h"
+#include "sim/shard_set.h"
 
 namespace iotsec::core {
 
@@ -47,6 +51,20 @@ struct DeploymentOptions {
   SimDuration env_tick = 500 * kMillisecond;
   /// Seed for the deployment's FaultInjector (see chaos()).
   std::uint64_t chaos_seed = 0xC4A05;
+  /// 0 (default): the legacy single-threaded engine — one Simulator, no
+  /// barriers, byte-identical to every release before sharding existed.
+  /// >= 1: the sharded engine — devices are homed on
+  /// ShardOfDevice(id, shards) worker shards running in lockstep quanta
+  /// (see sim::ShardSet); infrastructure (switch, controller, cluster,
+  /// attacker, environment owner) stays on shard 0. A 1-shard run is the
+  /// determinism reference an N-shard run must digest-match.
+  int shards = 0;
+  /// Sharded mode: execute shards 1..N-1 on worker threads (true) or all
+  /// inline on the caller (false — identical results, easier debugging).
+  bool shard_threads = true;
+  /// Sharded mode: lockstep quantum override; 0 derives it from the link
+  /// latency (the conservative lookahead bound).
+  SimDuration shard_quantum = 0;
 };
 
 class Deployment {
@@ -58,7 +76,18 @@ class Deployment {
   Deployment& operator=(const Deployment&) = delete;
 
   // ---- Accessors.
+  /// Shard 0's simulator in sharded mode (infrastructure clock); THE
+  /// simulator otherwise. Prefer RunFor()/Now() — in sharded mode,
+  /// advancing this directly moves only shard 0.
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  /// Non-null iff options().shards >= 1.
+  [[nodiscard]] sim::ShardSet* shard_set() { return shard_set_.get(); }
+  /// Simulator owning device `id`'s events (== sim() when unsharded).
+  [[nodiscard]] sim::Simulator& SimFor(DeviceId id) {
+    return shard_set_ == nullptr
+               ? sim_
+               : shard_set_->sim(sdn::ShardOfDevice(id, options_.shards));
+  }
   [[nodiscard]] env::Environment& environment() { return *env_; }
   [[nodiscard]] devices::DeviceRegistry& registry() { return registry_; }
   [[nodiscard]] sdn::Switch& edge() { return *switch_; }
@@ -118,7 +147,13 @@ class Deployment {
 
   /// Boots devices (and the controller when IoTSec is on).
   void Start();
-  void RunFor(SimDuration d) { sim_.RunFor(d); }
+  /// Advances the deployment: the single event loop when unsharded, the
+  /// lockstep quantum schedule (with barrier-phase environment sync and
+  /// stats snapshots) when sharded.
+  void RunFor(SimDuration d);
+  [[nodiscard]] SimTime Now() const {
+    return shard_set_ == nullptr ? sim_.Now() : shard_set_->Now();
+  }
 
   /// Convenience lookups for tests/benches.
   [[nodiscard]] devices::Device* Find(const std::string& name) const {
@@ -133,15 +168,55 @@ class Deployment {
     std::uint64_t queue_drops = 0;
     std::uint64_t lost = 0;  // random / flap-induced loss
   };
+  /// Safe at any time: while shards are running this returns the snapshot
+  /// taken at the last quantum barrier (exact as of that barrier — link
+  /// counters are owned by worker shards mid-quantum); otherwise it is
+  /// computed live.
   [[nodiscard]] NetworkTotals AggregateLinkStats() const;
-  [[nodiscard]] std::size_t LinkCount() const { return links_.size(); }
+  [[nodiscard]] std::size_t LinkCount() const {
+    if (shard_set_ != nullptr && shard_set_->running()) {
+      return link_count_snapshot_;
+    }
+    return links_.size();
+  }
 
  private:
   net::Link* NewLink();
+  /// The environment a device reads/writes: its private replica when
+  /// sharded (created here on first use), the shared owner otherwise.
+  env::Environment* EnvFor(DeviceId id);
+  /// Barrier-phase work: apply captured device environment writes to the
+  /// owner in canonical order, fan the owner's state back out to every
+  /// replica, snapshot link stats.
+  void BarrierSync(SimTime now);
 
   DeploymentOptions options_;
-  sim::Simulator sim_;
+  // Engine: exactly one of own_sim_ (legacy) / shard_set_ (sharded) is
+  // live; sim_ aliases the legacy simulator or the set's shard 0. Declared
+  // before every member that captures sim_ at construction.
+  std::unique_ptr<sim::Simulator> own_sim_;
+  std::vector<std::unique_ptr<net::PacketPool>> shard_pools_;
+  std::unique_ptr<sim::ShardSet> shard_set_;
+  sim::Simulator& sim_;
   std::unique_ptr<env::Environment> env_;
+  // Sharded mode: per-device environment replicas. A replica's write
+  // buffer is touched mid-quantum only by its device's shard worker;
+  // the barrier phase (single-threaded, after workers park) drains all
+  // of them into pending_env_writes_ for one canonical sorted apply.
+  struct EnvWrite {
+    SimTime at = 0;
+    std::string name;
+    double value = 0.0;
+  };
+  struct EnvReplica {
+    std::unique_ptr<env::Environment> env;
+    std::vector<EnvWrite> writes;
+  };
+  std::map<DeviceId, std::unique_ptr<EnvReplica>> env_replicas_;
+  std::vector<EnvWrite> pending_env_writes_;
+  std::uint64_t synced_env_version_ = 0;
+  NetworkTotals stats_snapshot_;
+  std::size_t link_count_snapshot_ = 0;
   devices::DeviceRegistry registry_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::unique_ptr<sdn::Switch> switch_;

@@ -41,6 +41,7 @@ std::unique_ptr<Umbox> Umbox::Create(UmboxSpec spec, const ElementContext& ctx,
   if (!graph) return nullptr;
   std::unique_ptr<Umbox> box(new Umbox(std::move(spec), ctx));
   box->graph_ = std::move(graph);
+  box->shard_packets_ = obs::ShardPackets(box->spec_.shard);
   return box;
 }
 
@@ -71,7 +72,10 @@ void Umbox::Process(net::PacketPtr pkt) {
   switch (state_) {
     case UmboxState::kRunning: {
       ++stats_.processed;
-      if (obs::Enabled()) obs::M().dp_packets->Inc();
+      if (obs::Enabled()) {
+        obs::M().dp_packets->Inc();
+        shard_packets_->Inc();
+      }
       if (net::Packet::TracingEnabled()) {
         pkt->Trace("umbox:" + std::to_string(spec_.id));
       }

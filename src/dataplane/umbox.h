@@ -16,6 +16,10 @@
 #include "dataplane/graph.h"
 #include "sim/simulator.h"
 
+namespace iotsec::obs {
+class Counter;
+}  // namespace iotsec::obs
+
 namespace iotsec::dataplane {
 
 enum class BootModel : std::uint8_t {
@@ -50,6 +54,9 @@ struct UmboxSpec {
   /// Packets arriving while booting are queued (true) or dropped (false).
   bool queue_while_booting = true;
   std::size_t boot_queue_limit = 256;
+  /// Shard whose worker executes this µmbox's chain (0 in unsharded
+  /// deployments). Selects the dp.shard.<i>.packets counter.
+  int shard = 0;
 };
 
 class Umbox {
@@ -127,6 +134,8 @@ class Umbox {
   std::function<void(net::PacketPtr)> egress_;
   std::function<void(Alert)> alert_sink_;
   Stats stats_;
+  /// Cached dp.shard.<spec_.shard>.packets handle (no per-packet lookup).
+  obs::Counter* shard_packets_ = nullptr;
 };
 
 }  // namespace iotsec::dataplane

@@ -93,9 +93,16 @@ void Environment::SetValue(const std::string& name, double value,
   if (it == vars_.end()) {
     throw std::out_of_range("undefined environment variable: " + name);
   }
+  if (write_capture_) {
+    // Replica in a sharded deployment: the write belongs to the owner
+    // environment and is applied there at the next quantum barrier.
+    write_capture_(name, value, now);
+    return;
+  }
   if (now > now_) now_ = now;
   Var& var = it->second;
   var.value = value;
+  ++version_;
   const int new_level = LevelFor(var.def, value);
   if (new_level == var.level) return;
   const LevelChange change{name, var.level, new_level, now};
@@ -155,6 +162,31 @@ std::vector<std::string> Environment::VariableNames() const {
   out.reserve(vars_.size());
   for (const auto& [name, _] : vars_) out.push_back(name);
   return out;
+}
+
+std::unique_ptr<Environment> Environment::Replicate() const {
+  auto replica = std::make_unique<Environment>();
+  replica->vars_ = vars_;  // defs + current values/levels
+  replica->now_ = now_;
+  return replica;
+}
+
+void Environment::SyncFrom(const Environment& owner, SimTime now) {
+  if (now > now_) now_ = now;
+  // vars_ is a std::map keyed by name, so iteration — and therefore the
+  // order replica listeners observe multi-variable changes — is the same
+  // everywhere.
+  for (const auto& [name, theirs] : owner.vars_) {
+    auto it = vars_.find(name);
+    if (it == vars_.end()) continue;
+    Var& mine = it->second;
+    mine.value = theirs.value;
+    if (theirs.level == mine.level) continue;
+    const LevelChange change{name, mine.level, theirs.level, now};
+    mine.level = theirs.level;
+    auto listeners = listeners_;
+    for (auto& [id, fn] : listeners) fn(change);
+  }
 }
 
 }  // namespace iotsec::env

@@ -134,6 +134,37 @@ class Environment {
 
   [[nodiscard]] std::vector<std::string> VariableNames() const;
 
+  // ---- Sharded-deployment replication -----------------------------------
+  //
+  // The physical world is shared state: every device reads it, several
+  // write it, and dynamics advance it — all of which would race across
+  // shard workers. Sharded deployments therefore keep ONE owner
+  // environment (dynamics, shard 0) plus a replica per device. Replicas
+  // never step dynamics; their writes are captured (SetWriteCapture) and
+  // routed to the owner, which applies them at the quantum barrier in a
+  // canonical order; the owner's state is then copied back into each
+  // replica (SyncFrom), firing replica-local listeners for level changes.
+  // Devices see the world one quantum late — a fixed lag that is the same
+  // at every shard count, so runs still digest-match.
+
+  /// A detached copy of the variable set and current values — no
+  /// dynamics, no listeners, no capture hook.
+  [[nodiscard]] std::unique_ptr<Environment> Replicate() const;
+
+  using WriteCapture =
+      std::function<void(const std::string& name, double value, SimTime now)>;
+  /// Diverts every SetValue on this instance to `hook` instead of
+  /// applying it locally (nullptr restores direct writes).
+  void SetWriteCapture(WriteCapture hook) { write_capture_ = std::move(hook); }
+
+  /// Bumped on every locally applied SetValue; lets a replicator skip
+  /// SyncFrom fan-out when nothing changed since the last barrier.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Copies `owner`'s values/levels over this instance's, firing local
+  /// listeners (at time `now`) for any level transition.
+  void SyncFrom(const Environment& owner, SimTime now);
+
  private:
   struct Var {
     VarDef def;
@@ -149,6 +180,8 @@ class Environment {
   std::map<int, Listener> listeners_;
   int next_listener_id_ = 1;
   SimTime now_ = 0;
+  std::uint64_t version_ = 0;
+  WriteCapture write_capture_;
 };
 
 }  // namespace iotsec::env

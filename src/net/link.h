@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "net/packet.h"
+#include "sim/shard_set.h"
 #include "sim/simulator.h"
 
 namespace iotsec::net {
@@ -50,8 +51,24 @@ class Link {
 
   /// Runtime loss-rate override, used by fault injection to model link
   /// flaps / loss bursts. Draws still come from the same per-link
-  /// deterministic stream, so flapped runs stay reproducible.
-  void SetLossRate(double rate) { config_.loss_rate = rate; }
+  /// deterministic stream, so flapped runs stay reproducible. On a
+  /// shard-bound link the change is posted to each direction's home
+  /// shard one quantum out (see BindShards) instead of applied in place.
+  void SetLossRate(double rate);
+
+  /// Places the link in sharded mode: endpoint `i` lives on shard
+  /// `end_shard[i]` of `set`. From then on each direction's transmit
+  /// chain runs on its source endpoint's shard, deliveries cross through
+  /// ShardSet::Post, and loss draws come from per-direction streams
+  /// (seeded loss_seed ^ (direction+1)) — per-direction state is what
+  /// makes behaviour independent of which shards the ends land on, so a
+  /// 1-shard run digest-matches an 8-shard run. Requires
+  /// latency >= set->quantum() (the conservative-lookahead contract).
+  void BindShards(sim::ShardSet* set, int end0_shard, int end1_shard);
+
+  /// True once BindShards has been called.
+  [[nodiscard]] bool bound() const { return shards_ != nullptr; }
+  [[nodiscard]] int end_shard(int end) const { return end_shard_[end]; }
 
  private:
   struct Endpoint {
@@ -62,15 +79,26 @@ class Link {
     std::deque<PacketPtr> queue;
     bool transmitting = false;
     LinkStats stats;
+    // Sharded mode only: per-direction loss stream/rate, owned (like the
+    // queue and stats) by the source endpoint's shard.
+    Rng rng;
+    double loss_rate = 0.0;
   };
 
   void StartTransmit(int direction);
+  /// Simulator a direction's transmit chain runs on: the source end's
+  /// shard when bound, the construction simulator otherwise.
+  [[nodiscard]] sim::Simulator& SimOf(int direction) {
+    return shards_ ? shards_->sim(end_shard_[direction]) : sim_;
+  }
 
   sim::Simulator& sim_;
   LinkConfig config_;
   Rng loss_rng_;
   Endpoint ends_[2];
   Direction dirs_[2];  // dirs_[i] carries traffic from end i to end 1-i
+  sim::ShardSet* shards_ = nullptr;
+  int end_shard_[2] = {0, 0};
 };
 
 }  // namespace iotsec::net

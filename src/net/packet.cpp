@@ -6,10 +6,20 @@ namespace iotsec::net {
 
 void SetPacketTracing(bool enabled) { Packet::tracing_enabled_ = enabled; }
 
+namespace {
+thread_local PacketPool* t_bound_pool = nullptr;
+}  // namespace
+
 PacketPool& PacketPool::Global() {
   static PacketPool pool;
   return pool;
 }
+
+PacketPool& PacketPool::Current() {
+  return t_bound_pool ? *t_bound_pool : Global();
+}
+
+void PacketPool::BindToThisThread(PacketPool* pool) { t_bound_pool = pool; }
 
 PacketPtr PacketPool::Wrap(std::unique_ptr<Packet> pkt) {
   return PacketPtr(pkt.release(),
@@ -44,6 +54,15 @@ PacketPtr PacketPool::Clone(const Packet& src) {
 }
 
 void PacketPool::Release(Packet* pkt) {
+  // A cross-shard handoff can drop the last reference on a thread bound
+  // to a different pool (or to none of the shard pools). Recycling into
+  // free_ from here would race with the owner; deleting is always safe.
+  if (&Current() != this) {
+    foreign_releases_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Enabled()) obs::M().net_pool_foreign_release->Inc();
+    delete pkt;
+    return;
+  }
   if (!enabled_ || free_.size() >= max_free_) {
     delete pkt;
     return;

@@ -19,6 +19,7 @@
 //     `SetPacketTracing(false)` (benches) or IOTSEC_NO_PACKET_TRACE.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -158,13 +159,25 @@ class Packet {
 
 using PacketPtr = std::shared_ptr<Packet>;
 
-/// Free-list allocator recycling Packet objects. Single-threaded (the
-/// simulator is event-driven); released packets return here and hand
-/// their heap capacity to the next Acquire.
+/// Free-list allocator recycling Packet objects. Single-threaded within
+/// its owning shard (the simulator is event-driven); released packets
+/// return here and hand their heap capacity to the next Acquire.
+///
+/// Sharded runs give every worker its own pool, bound to the thread via
+/// BindToThisThread(): MakePacket/ClonePacket draw from Current(), and a
+/// packet released on a thread that doesn't own its pool (a cross-shard
+/// handoff dropped the last reference) is freed outright — touching a
+/// foreign free list would race — and counted in ForeignReleases().
 class PacketPool {
  public:
-  /// Process-wide pool used by MakePacket/ClonePacket.
+  /// Process-wide pool; Current() for unbound threads.
   static PacketPool& Global();
+
+  /// The pool bound to the calling thread (Global() by default).
+  static PacketPool& Current();
+
+  /// Binds `pool` as the calling thread's pool; nullptr restores Global().
+  static void BindToThisThread(PacketPool* pool);
 
   /// A packet whose bytes are `data` (recycled storage when available).
   PacketPtr Acquire(Bytes data);
@@ -181,6 +194,12 @@ class PacketPool {
   /// Bounds the free list; surplus releases are simply freed.
   void SetMaxFree(std::size_t max_free) { max_free_ = max_free; }
 
+  /// Packets released on a thread this pool isn't bound to (deleted
+  /// rather than recycled; see class comment).
+  [[nodiscard]] std::uint64_t ForeignReleases() const {
+    return foreign_releases_.load(std::memory_order_relaxed);
+  }
+
  private:
   PacketPtr Wrap(std::unique_ptr<Packet> pkt);
   void Release(Packet* pkt);
@@ -188,14 +207,15 @@ class PacketPool {
   std::vector<std::unique_ptr<Packet>> free_;
   std::size_t max_free_ = 16384;
   bool enabled_ = true;
+  std::atomic<std::uint64_t> foreign_releases_{0};
 };
 
 inline PacketPtr MakePacket(Bytes data) {
-  return PacketPool::Global().Acquire(std::move(data));
+  return PacketPool::Current().Acquire(std::move(data));
 }
 
 inline PacketPtr ClonePacket(const Packet& src) {
-  return PacketPool::Global().Clone(src);
+  return PacketPool::Current().Clone(src);
 }
 
 /// Anything that can accept packets on numbered ports: switches, device

@@ -1,5 +1,8 @@
 #include "obs/obs.h"
 
+#include <array>
+#include <string>
+
 namespace iotsec::obs {
 
 Metrics& M() {
@@ -7,6 +10,7 @@ Metrics& M() {
     MetricsRegistry& r = MetricsRegistry::Global();
     Metrics out;
     out.net_pool_free = r.GetGauge("net.pool_free");
+    out.net_pool_foreign_release = r.GetCounter("net.pool_foreign_release");
     out.sdn_microflow_hits = r.GetCounter("sdn.microflow_hits");
     out.sdn_microflow_misses = r.GetCounter("sdn.microflow_misses");
     out.sdn_microflow_stale = r.GetCounter("sdn.microflow_stale");
@@ -23,6 +27,22 @@ Metrics& M() {
     return out;
   }();
   return m;
+}
+
+Counter* ShardPackets(int shard) {
+  static constexpr int kMaxCached = 32;
+  static const std::array<Counter*, kMaxCached> cache = [] {
+    std::array<Counter*, kMaxCached> out{};
+    MetricsRegistry& r = MetricsRegistry::Global();
+    for (int i = 0; i < kMaxCached; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          r.GetCounter("dp.shard." + std::to_string(i) + ".packets");
+    }
+    return out;
+  }();
+  if (shard < 0) shard = 0;
+  if (shard >= kMaxCached) shard = kMaxCached - 1;
+  return cache[static_cast<std::size_t>(shard)];
 }
 
 }  // namespace iotsec::obs

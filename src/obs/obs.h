@@ -20,6 +20,8 @@ namespace iotsec::obs {
 struct Metrics {
   // ---- net: packet allocation.
   Gauge* net_pool_free;            // PacketPool free-list occupancy
+  Counter* net_pool_foreign_release;  // releases landing on a thread that
+                                      // doesn't own the packet's pool
 
   // ---- sdn: classification.
   Counter* sdn_microflow_hits;     // exact-match cache served
@@ -47,5 +49,11 @@ struct Metrics {
 
 /// The shared handle bundle (registered on first use).
 Metrics& M();
+
+/// Per-shard dataplane packet counter, registered as
+/// "dp.shard.<i>.packets". Handles are cached so sharded hot paths pay a
+/// bounds check + array load, never a registry lookup. Shards beyond the
+/// cache alias the last slot (registry names stay exact up to the cap).
+Counter* ShardPackets(int shard);
 
 }  // namespace iotsec::obs

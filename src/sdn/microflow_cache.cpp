@@ -62,4 +62,9 @@ void MicroflowCache::Clear() {
   for (Slot& slot : slots_) slot = {};
 }
 
+void MicroflowCache::Resize(std::size_t slots) {
+  slots_.assign(RoundUpPow2(slots == 0 ? 1 : slots), Slot{});
+  mask_ = slots_.size() - 1;
+}
+
 }  // namespace iotsec::sdn

@@ -44,6 +44,11 @@ class MicroflowCache {
 
   void Clear();
 
+  /// Drops every cached verdict and resizes to `slots` (rounded up to a
+  /// power of two). Fleet-scale deployments call this to size a switch's
+  /// cache to its device population before warming it.
+  void Resize(std::size_t slots);
+
   [[nodiscard]] std::size_t SlotCount() const { return slots_.size(); }
 
   struct Stats {

@@ -3,7 +3,11 @@
 namespace iotsec::sim {
 
 void EventHandle::Cancel() {
-  if (state_) state_->cancelled = true;
+  if (!state_ || state_->cancelled || state_->fired) return;
+  state_->cancelled = true;
+  if (state_->cancelled_count) {
+    state_->cancelled_count->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool EventHandle::Pending() const {
@@ -13,28 +17,38 @@ bool EventHandle::Pending() const {
 EventHandle Simulator::At(SimTime when, Callback fn) {
   if (when < now_) when = now_;
   auto state = std::make_shared<EventHandle::State>();
+  state->cancelled_count = cancelled_unpopped_;
   queue_.push(Event{when, seq_++, std::move(fn), state});
   return EventHandle(std::move(state));
 }
 
 EventHandle Simulator::Every(SimDuration period, Callback fn) {
   auto state = std::make_shared<EventHandle::State>();
+  state->recurring = true;
+  state->cancelled_count = cancelled_unpopped_;
   // The repeating closure reschedules itself unless the shared handle
   // state says it was cancelled. The simulator owns the closure; the
   // closure captures only a weak reference to itself, so no refcount
-  // cycle keeps it alive past the simulator's lifetime.
+  // cycle keeps it alive past the simulator's lifetime. Each queued tick
+  // carries `state`, so cancelling the ticker excludes the already-queued
+  // next tick from PendingEvents() like any other cancelled event.
   auto tick = std::make_shared<Callback>();
   recurring_.push_back(tick);
   *tick = [this, period, fn = std::move(fn), state,
            weak = std::weak_ptr<Callback>(tick)]() {
-    if (state->cancelled) return;
     fn();
-    if (state->cancelled || stopped_) return;
+    if (state->cancelled) {
+      // Cancelled from inside fn(): the bump in Cancel() assumed a queued
+      // corpse, but this tick was already popped and none will follow.
+      state->cancelled_count->fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    if (stopped_) return;
     if (auto self = weak.lock()) {
-      queue_.push(Event{now_ + period, seq_++, *self, nullptr});
+      queue_.push(Event{now_ + period, seq_++, *self, state});
     }
   };
-  queue_.push(Event{now_ + period, seq_++, *tick, nullptr});
+  queue_.push(Event{now_ + period, seq_++, *tick, state});
   return EventHandle(std::move(state));
 }
 
@@ -43,8 +57,11 @@ bool Simulator::PopAndFire() {
   queue_.pop();
   now_ = ev.when;
   if (ev.state) {
-    if (ev.state->cancelled) return false;
-    ev.state->fired = true;
+    if (ev.state->cancelled) {
+      cancelled_unpopped_->fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!ev.state->recurring) ev.state->fired = true;
   }
   ev.fn();
   ++processed_;

@@ -6,6 +6,7 @@
 // deterministic for a fixed seed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -32,6 +33,15 @@ class EventHandle {
   struct State {
     bool cancelled = false;
     bool fired = false;
+    /// Every() ticker: pops never set `fired` (the handle stays
+    /// cancellable across ticks) and Cancel() accounts for the one
+    /// queued next-tick event.
+    bool recurring = false;
+    // Owning simulator's count of cancelled-but-unpopped events; bumped
+    // exactly once per Cancel() so PendingEvents() can subtract the
+    // corpses still sitting in the priority queue. Shared (not a raw
+    // Simulator*) so a handle outliving its simulator stays harmless.
+    std::shared_ptr<std::atomic<std::uint64_t>> cancelled_count;
   };
   explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
   std::shared_ptr<State> state_;
@@ -70,7 +80,21 @@ class Simulator {
   void Stop() { stopped_ = true; }
 
   [[nodiscard]] std::uint64_t EventsProcessed() const { return processed_; }
-  [[nodiscard]] std::size_t PendingEvents() const { return queue_.size(); }
+
+  /// Timestamp of the earliest queued event, or SimTime max when the queue
+  /// is empty. Lets a lockstep scheduler skip quanta no shard has work in.
+  [[nodiscard]] SimTime NextEventTime() const {
+    return queue_.empty() ? ~SimTime{0} : queue_.top().when;
+  }
+
+  /// Live count of events that will still fire: cancelled events stay in
+  /// the priority queue until popped, but are excluded here, so
+  /// admission/backpressure logic reading this sees the real backlog.
+  [[nodiscard]] std::size_t PendingEvents() const {
+    return queue_.size() -
+           static_cast<std::size_t>(
+               cancelled_unpopped_->load(std::memory_order_relaxed));
+  }
 
  private:
   struct Event {
@@ -92,6 +116,11 @@ class Simulator {
   // Recurring closures from Every() are owned here; the queued events hold
   // only a weak reference, so the closure/self cycle cannot leak.
   std::vector<std::shared_ptr<Callback>> recurring_;
+  // Cancelled events the queue still holds (see PendingEvents()). Shared
+  // with every EventHandle::State so Cancel() can bump it even though
+  // handles carry no simulator pointer.
+  std::shared_ptr<std::atomic<std::uint64_t>> cancelled_unpopped_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
