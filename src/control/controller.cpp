@@ -327,6 +327,7 @@ void IoTSecController::Reevaluate() {
 
 void IoTSecController::ApplyPosture(ManagedDevice& md,
                                     const policy::Posture& posture) {
+  md.launch_shed = false;
   const bool needs_umbox = posture.tunnel && !posture.umbox_config.empty();
   if (!needs_umbox) {
     RemoveDiversion(md);
@@ -370,6 +371,22 @@ void IoTSecController::ApplyPosture(ManagedDevice& md,
     AbandonUmbox(md);
   }
 
+  // Overload shedding: at kShed or worse a fresh launch would only deepen
+  // the boot-queue backlog. Refuse it, quarantine the device (fail closed
+  // — never fail open under pressure; no enforcement-failure accounting,
+  // this is intentional degradation) and leave md.posture stale so
+  // OnAdmissionRelaxed()'s re-evaluation retries the launch.
+  if (admission_ != nullptr &&
+      !admission_->AllowLaunch(md.device->id(), sim_.Now())) {
+    md.launch_shed = true;
+    audit_.Record(sim_.Now(), AuditCategory::kUmbox, md.device->spec().name,
+                  "launch shed by admission control (" +
+                      std::string(BrownoutLevelName(admission_->level())) +
+                      "); quarantined until pressure drops");
+    InstallQuarantine(md);
+    return;
+  }
+
   dataplane::UmboxHost* host = cluster_->PickHost();
   if (host == nullptr) {
     IOTSEC_LOG_ERROR("cluster at capacity; cannot enforce posture for %s",
@@ -382,6 +399,7 @@ void IoTSecController::ApplyPosture(ManagedDevice& md,
   spec.device = md.device->id();
   spec.config_text = EffectiveConfig(md, posture.umbox_config);
   spec.boot = config_.umbox_boot;
+  spec.boot_queue_limit = config_.boot_queue_limit;
   dataplane::ElementContext ctx;
   ctx.sim = &sim_;
   ctx.context = &view_;
@@ -608,6 +626,23 @@ void IoTSecController::AttemptRecovery(DeviceId device,
     md.recovering = false;
     return;
   }
+  // Overload deferral: restarting into a saturated cluster amplifies the
+  // outage (boot queues, host load, restart storms). Wait out the defer
+  // interval and ask again — the attempt budget is NOT consumed, deferral
+  // is not failure, and the device stays quarantined (fail closed)
+  // meanwhile. A posture change mid-defer bumps the epoch and this
+  // continuation no-ops.
+  if (admission_ != nullptr && admission_->DeferRestart(device, sim_.Now())) {
+    audit_.Record(sim_.Now(), AuditCategory::kRecovery,
+                  md.device->spec().name,
+                  "restart deferred by admission control (" +
+                      std::string(BrownoutLevelName(admission_->level())) +
+                      ")");
+    sim_.After(admission_->config().restart_defer_interval,
+               [this, device, epoch] { AttemptRecovery(device, epoch); });
+    return;
+  }
+
   const std::string config = EffectiveConfig(md, md.posture.umbox_config);
   const int attempt = md.recovery_attempts;  // for the boot watchdog
 
@@ -651,6 +686,7 @@ void IoTSecController::AttemptRecovery(DeviceId device,
   spec.device = device;
   spec.config_text = config;
   spec.boot = config_.umbox_boot;
+  spec.boot_queue_limit = config_.boot_queue_limit;
   dataplane::ElementContext ctx;
   ctx.sim = &sim_;
   ctx.context = &view_;
@@ -757,6 +793,27 @@ void IoTSecController::AbandonUmbox(ManagedDevice& md) {
     }
   }
   md.umbox.reset();
+}
+
+void IoTSecController::OnAdmissionRelaxed() {
+  bool any = false;
+  for (auto& [id, md] : devices_) {
+    if (md.launch_shed) {
+      md.launch_shed = false;
+      any = true;
+    }
+  }
+  // One re-evaluation covers every shed device; the control latency the
+  // schedule pays models the real cost of the retry sweep.
+  if (any) ScheduleReevaluate();
+}
+
+int IoTSecController::RecoveringCount() const {
+  int count = 0;
+  for (const auto& [id, md] : devices_) {
+    if (md.recovering) ++count;
+  }
+  return count;
 }
 
 bool IoTSecController::Recovering(DeviceId device) const {

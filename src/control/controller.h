@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "control/admission.h"
 #include "control/audit.h"
 #include "control/health.h"
 #include "control/view.h"
@@ -65,6 +66,11 @@ struct ControllerConfig {
   int max_restart_attempts = 6;
   /// Seed for the backoff-jitter stream (determinism).
   std::uint64_t recovery_seed = 0x5EA1;
+  /// Boot-queue bound stamped onto every µmbox the controller launches
+  /// (packets parked while an instance boots; overflow is dropped and
+  /// counted). Zero with queue_while_booting on is a guaranteed
+  /// boot-window blackhole — iotsec-verify flags it (G007).
+  std::size_t boot_queue_limit = 256;
 };
 
 class IoTSecController final : public sdn::PacketInHandler,
@@ -133,6 +139,19 @@ class IoTSecController final : public sdn::PacketInHandler,
   /// on top of the control latency. Pass (0, 0) to heal.
   void SetControlChannelFault(double drop_rate, SimDuration extra_delay);
 
+  /// Wires the deployment's admission controller. When set (and
+  /// enforcing), new µmbox launches can be shed — the device is
+  /// quarantined and retried via OnAdmissionRelaxed() — and recovery
+  /// restarts can be deferred while the cluster is saturated.
+  void SetAdmission(AdmissionController* admission) {
+    admission_ = admission;
+  }
+  /// Called when the brownout level drops: re-evaluates devices whose
+  /// launches were shed so enforcement is restored.
+  void OnAdmissionRelaxed();
+  /// Devices with recovery in flight (admission's restart-storm signal).
+  [[nodiscard]] int RecoveringCount() const;
+
   [[nodiscard]] const HealthMonitor& health() const { return health_; }
 
   struct Stats {
@@ -177,6 +196,9 @@ class IoTSecController final : public sdn::PacketInHandler,
     policy::Posture posture;  // currently enforced
     std::optional<UmboxId> umbox;
     int alert_count = 0;
+    /// Last launch attempt was refused by admission control; cleared (and
+    /// the device re-evaluated) when the brownout level drops.
+    bool launch_shed = false;
     // ---- recovery state machine
     bool recovering = false;
     int recovery_attempts = 0;
@@ -253,6 +275,7 @@ class IoTSecController final : public sdn::PacketInHandler,
   double control_drop_rate_ = 0.0;
   SimDuration control_extra_delay_ = 0;
   Rng control_fault_rng_;
+  AdmissionController* admission_ = nullptr;
   learn::CrowdRepo* crowd_repo_ = nullptr;
   /// Accepted crowd rule texts per SKU, ready to splice into chains.
   std::map<std::string, std::vector<std::string>> crowd_rules_;

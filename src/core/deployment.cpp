@@ -63,7 +63,8 @@ Deployment::Deployment(DeploymentOptions options)
   for (int h = 0; h < options_.cluster_hosts; ++h) {
     auto host = std::make_unique<dataplane::UmboxHost>(
         static_cast<ServerId>(h + 1), sim_, options_.host_capacity);
-    net::Link* link = NewLink();
+    net::Link* link = NewLink(
+        options_.cluster_link ? &*options_.cluster_link : nullptr);
     const int port = switch_->AttachLink(link, 0);
     host->ConnectUplink(link, 1);
     if (first_cluster_port < 0) first_cluster_port = port;
@@ -109,6 +110,36 @@ Deployment::Deployment(DeploymentOptions options)
       controller_->RegisterEndpoint(attacker_mac, switch_.get(), port);
     }
   }
+
+  if (options_.with_iotsec &&
+      options_.admission.mode != control::AdmissionMode::kOff) {
+    admission_ =
+        std::make_unique<control::AdmissionController>(options_.admission);
+    controller_->SetAdmission(admission_.get());
+    // Dropping a level means pressure receded: give shed launches their
+    // retry immediately instead of waiting for the next posture change.
+    admission_->SetLevelChangeCallback(
+        [this](control::BrownoutLevel from, control::BrownoutLevel to) {
+          if (to < from) controller_->OnAdmissionRelaxed();
+        });
+    // Ingress backpressure: shed only *new client work* at the edge.
+    // Exempt (a) tunnel frames — µmbox verdicts and diversions already
+    // paid for, (b) control-plane traffic to/from the hub, (c) frames
+    // sourced by managed devices — in-flight replies and telemetry whose
+    // request cost is sunk. What remains is fresh client/attacker load.
+    switch_->SetIngressGate(
+        [this](const net::Packet& pkt, const proto::ParsedFrame& frame,
+               int /*port*/) {
+          (void)pkt;
+          if (frame.eth.ethertype == proto::EtherType::kTunnel) return true;
+          if (frame.ip.has_value()) {
+            const auto hub = controller_->hub_ip();
+            if (frame.ip->src == hub || frame.ip->dst == hub) return true;
+            if (registry_.ByIp(frame.ip->src) != nullptr) return true;
+          }
+          return admission_->AdmitIngress(sim_.Now());
+        });
+  }
 }
 
 Deployment::~Deployment() {
@@ -117,8 +148,9 @@ Deployment::~Deployment() {
   if (shard_set_ != nullptr) net::PacketPool::BindToThisThread(nullptr);
 }
 
-net::Link* Deployment::NewLink() {
-  links_.push_back(std::make_unique<net::Link>(sim_, options_.link));
+net::Link* Deployment::NewLink(const net::LinkConfig* config) {
+  links_.push_back(std::make_unique<net::Link>(
+      sim_, config != nullptr ? *config : options_.link));
   net::Link* link = links_.back().get();
   if (chaos_ != nullptr) chaos_->AddLink(link);
   return link;
@@ -174,6 +206,37 @@ void Deployment::BarrierSync(SimTime now) {
   // 3. Snapshot network totals while every link counter is quiescent.
   stats_snapshot_ = AggregateLinkStats();
   link_count_snapshot_ = links_.size();
+  // 4. Feed the admission controller. Barrier times are quantum
+  //    multiples — identical for every shard count — so sampling here
+  //    keeps the decision trace placement-invariant.
+  if (admission_ != nullptr && now >= next_admission_sample_) {
+    SampleAdmission(now);
+    next_admission_sample_ = now + options_.admission.sample_period;
+  }
+}
+
+control::AdmissionSignals Deployment::CollectAdmissionSignals() const {
+  control::AdmissionSignals sig;
+  for (const auto& host : hosts_) {
+    host->AccumulateBootQueue(sig.boot_queue_depth,
+                              sig.boot_queue_worst_permille);
+  }
+  if (shard_pools_.empty()) {
+    sig.pool_live = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, net::PacketPool::Global().Live()));
+  } else {
+    std::int64_t live = 0;
+    for (const auto& pool : shard_pools_) live += pool->Live();
+    sig.pool_live = static_cast<std::size_t>(std::max<std::int64_t>(0, live));
+  }
+  sig.cluster_load = cluster_.TotalLoad();
+  sig.cluster_capacity = cluster_.TotalCapacity();
+  sig.recovering = controller_->RecoveringCount();
+  return sig;
+}
+
+void Deployment::SampleAdmission(SimTime now) {
+  admission_->Update(CollectAdmissionSignals(), now);
 }
 
 void Deployment::RunFor(SimDuration d) {
@@ -394,6 +457,13 @@ void Deployment::Start() {
   started_ = true;
   registry_.StartAll();
   if (options_.with_iotsec) controller_->Start();
+  // Unsharded engine has no barriers; a plain ticker gives the same
+  // sample times (quanta divide sample_period in every configuration we
+  // ship, so sharded barriers land on these instants too).
+  if (admission_ != nullptr && shard_set_ == nullptr) {
+    sim_.Every(options_.admission.sample_period,
+               [this] { SampleAdmission(sim_.Now()); });
+  }
 }
 
 }  // namespace iotsec::core

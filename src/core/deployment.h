@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,9 +45,21 @@ struct DeploymentOptions {
   /// of on the LAN.
   bool wan_attacker = false;
   control::ControllerConfig controller;
+  /// Overload control (see control/admission.h). kOff (default) creates
+  /// no admission controller at all — byte-identical behaviour to every
+  /// release before it existed. kMonitor samples and levels without
+  /// acting; kEnforce sheds launches, defers restarts and backpressures
+  /// ingress. Signals are sampled at quantum barriers when sharded, on a
+  /// sample_period ticker otherwise.
+  control::AdmissionConfig admission;
   int cluster_hosts = 1;
   int host_capacity = 64;
   net::LinkConfig link;
+  /// Override for the µmbox-host uplinks (the serving path every
+  /// diverted flow crosses twice). Unset: hosts use `link` like
+  /// everything else. The overload bench narrows this to make the
+  /// cluster — not the access links — the contended resource.
+  std::optional<net::LinkConfig> cluster_link;
   /// Environment tick (dynamics integration step).
   SimDuration env_tick = 500 * kMillisecond;
   /// Seed for the deployment's FaultInjector (see chaos()).
@@ -103,6 +116,10 @@ class Deployment {
   /// controller, every link built so far — links added later register
   /// automatically) on first use.
   [[nodiscard]] fault::FaultInjector& chaos();
+  /// Non-null iff options().admission.mode != kOff (and IoTSec is on).
+  [[nodiscard]] control::AdmissionController* admission() {
+    return admission_.get();
+  }
   [[nodiscard]] const DeploymentOptions& options() const { return options_; }
   [[nodiscard]] net::Ipv4Prefix lan_prefix() const {
     return net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 24);
@@ -181,14 +198,22 @@ class Deployment {
   }
 
  private:
-  net::Link* NewLink();
+  /// null config: the deployment-wide options_.link.
+  net::Link* NewLink(const net::LinkConfig* config = nullptr);
   /// The environment a device reads/writes: its private replica when
   /// sharded (created here on first use), the shared owner otherwise.
   env::Environment* EnvFor(DeviceId id);
   /// Barrier-phase work: apply captured device environment writes to the
   /// owner in canonical order, fan the owner's state back out to every
-  /// replica, snapshot link stats.
+  /// replica, snapshot link stats, feed the admission controller.
   void BarrierSync(SimTime now);
+  /// One shard-placement-invariant admission snapshot: boot queues and
+  /// cluster load live on shard 0, and pool_live sums Live() over every
+  /// pool — total in-flight packets at a barrier is a function of the
+  /// simulation, not of where devices were placed (each release routes
+  /// back to its acquiring pool's counter; see net::PacketPool::Live).
+  [[nodiscard]] control::AdmissionSignals CollectAdmissionSignals() const;
+  void SampleAdmission(SimTime now);
 
   DeploymentOptions options_;
   // Engine: exactly one of own_sim_ (legacy) / shard_set_ (sharded) is
@@ -221,6 +246,8 @@ class Deployment {
   std::vector<std::unique_ptr<net::Link>> links_;
   std::unique_ptr<sdn::Switch> switch_;
   std::unique_ptr<control::IoTSecController> controller_;
+  std::unique_ptr<control::AdmissionController> admission_;
+  SimTime next_admission_sample_ = 0;
   std::vector<std::unique_ptr<dataplane::UmboxHost>> hosts_;
   dataplane::Cluster cluster_;
   std::unique_ptr<devices::Attacker> attacker_;

@@ -1,5 +1,7 @@
 #include "dataplane/cluster.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "proto/frame.h"
 
@@ -99,6 +101,19 @@ UmboxHost::UmboxTotals UmboxHost::AggregatedUmboxStats() const {
     totals.restarts += s.restarts;
   }
   return totals;
+}
+
+void UmboxHost::AccumulateBootQueue(std::size_t& depth,
+                                    int& worst_permille) const {
+  for (const auto& [id, box] : boxes_) {
+    const std::size_t parked = box->boot_queue_depth();
+    depth += parked;
+    const std::size_t limit = box->spec().boot_queue_limit;
+    if (limit > 0 && parked > 0) {
+      worst_permille = std::max(
+          worst_permille, static_cast<int>(parked * 1000 / limit));
+    }
+  }
 }
 
 void UmboxHost::Receive(net::PacketPtr pkt, int port) {

@@ -90,6 +90,11 @@ class UmboxHost final : public net::PacketSink {
   };
   [[nodiscard]] UmboxTotals AggregatedUmboxStats() const;
 
+  /// Adds this host's boot-queue occupancy to an admission snapshot:
+  /// `depth` accumulates every parked packet, `worst_permille` tracks the
+  /// fullest single µmbox queue as a fraction of its own limit.
+  void AccumulateBootQueue(std::size_t& depth, int& worst_permille) const;
+
  private:
   void ReturnFrame(UmboxId vni, SwitchId origin, net::PacketPtr inner);
 

@@ -71,6 +71,12 @@ class Umbox {
   [[nodiscard]] const UmboxSpec& spec() const { return spec_; }
   [[nodiscard]] UmboxState state() const { return state_; }
 
+  /// Packets currently parked waiting for a boot to finish (admission
+  /// control's boot-queue pressure input).
+  [[nodiscard]] std::size_t boot_queue_depth() const {
+    return boot_queue_.size();
+  }
+
   /// Begins booting; `on_ready` fires after the boot-model latency, after
   /// which queued packets drain through the graph.
   void Boot(std::function<void()> on_ready = nullptr);

@@ -22,8 +22,15 @@ PacketPool& PacketPool::Current() {
 void PacketPool::BindToThisThread(PacketPool* pool) { t_bound_pool = pool; }
 
 PacketPtr PacketPool::Wrap(std::unique_ptr<Packet> pkt) {
+  live_.fetch_add(1, std::memory_order_relaxed);
   return PacketPtr(pkt.release(),
                    [this](Packet* raw) { Release(raw); });
+}
+
+void PacketPool::PublishOccupancy() const {
+  if (obs::Enabled()) {
+    obs::M().net_pool_free->Set(static_cast<std::int64_t>(free_.size()));
+  }
 }
 
 PacketPtr PacketPool::Acquire(Bytes data) {
@@ -34,6 +41,7 @@ PacketPtr PacketPool::Acquire(Bytes data) {
   GlobalFastPath().pool_reused.Inc();
   std::unique_ptr<Packet> pkt = std::move(free_.back());
   free_.pop_back();
+  PublishOccupancy();
   // Moving into the recycled vector keeps whichever capacity is larger.
   pkt->data_ = std::move(data);
   return Wrap(std::move(pkt));
@@ -47,6 +55,7 @@ PacketPtr PacketPool::Clone(const Packet& src) {
   GlobalFastPath().pool_reused.Inc();
   std::unique_ptr<Packet> pkt = std::move(free_.back());
   free_.pop_back();
+  PublishOccupancy();
   // Assign (rather than copy-construct) so the recycled byte/trace
   // capacity is reused for the copy.
   *pkt = src;
@@ -54,6 +63,7 @@ PacketPtr PacketPool::Clone(const Packet& src) {
 }
 
 void PacketPool::Release(Packet* pkt) {
+  live_.fetch_sub(1, std::memory_order_relaxed);
   // A cross-shard handoff can drop the last reference on a thread bound
   // to a different pool (or to none of the shard pools). Recycling into
   // free_ from here would race with the owner; deleting is always safe.
@@ -69,12 +79,12 @@ void PacketPool::Release(Packet* pkt) {
   }
   pkt->ResetForReuse();
   free_.emplace_back(pkt);
-  // Occupancy is only published on release: Acquire/Release alternate in
-  // steady state, so the high-water mark is captured here and the idle
-  // fast path (pool disabled) pays nothing.
-  if (obs::Enabled()) {
-    obs::M().net_pool_free->Set(static_cast<std::int64_t>(free_.size()));
-  }
+  // Occupancy is published on both sides of the pool: releases capture
+  // the high-water mark, and Acquire/Clone (above) capture the drawdown
+  // so an acquire burst can't leave the gauge stale while admission
+  // control is reading it. The idle fast path (pool disabled) still
+  // pays nothing.
+  PublishOccupancy();
 }
 
 }  // namespace iotsec::net

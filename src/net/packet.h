@@ -200,14 +200,27 @@ class PacketPool {
     return foreign_releases_.load(std::memory_order_relaxed);
   }
 
+  /// Packets acquired from this pool and not yet released. Placement-
+  /// invariant: the deleter captured at Acquire routes every release —
+  /// including cross-shard foreign deletes — back to the acquiring pool,
+  /// so summing Live() over all pools counts exactly the packets alive
+  /// in the simulation (the admission controller's pool-pressure input).
+  [[nodiscard]] std::int64_t Live() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+
  private:
   PacketPtr Wrap(std::unique_ptr<Packet> pkt);
   void Release(Packet* pkt);
+  void PublishOccupancy() const;
 
   std::vector<std::unique_ptr<Packet>> free_;
   std::size_t max_free_ = 16384;
   bool enabled_ = true;
   std::atomic<std::uint64_t> foreign_releases_{0};
+  // Acquire increments on the owning thread; Release may decrement from a
+  // foreign thread (cross-shard handoff), hence atomic.
+  std::atomic<std::int64_t> live_{0};
 };
 
 inline PacketPtr MakePacket(Bytes data) {

@@ -21,6 +21,9 @@ std::string_view TraceEventTypeName(TraceEventType t) {
     case TraceEventType::kHeartbeatMiss: return "heartbeat_miss";
     case TraceEventType::kFaultInjected: return "fault_injected";
     case TraceEventType::kIncident: return "incident";
+    case TraceEventType::kAdmissionTransition: return "admission_transition";
+    case TraceEventType::kAdmissionShed: return "admission_shed";
+    case TraceEventType::kAdmissionDefer: return "admission_defer";
   }
   return "unknown";
 }

@@ -37,6 +37,9 @@ enum class TraceEventType : std::uint16_t {
   kHeartbeatMiss,     // a = host id, b = umbox id (0 = host-level)
   kFaultInjected,     // a = fault kind, b = target id
   kIncident,          // a = 0, b = 0 (marks the auto-dump trigger)
+  kAdmissionTransition,  // a = (from<<8)|to level, b = pressure permille
+  kAdmissionShed,     // a = device id, b = brownout level
+  kAdmissionDefer,    // a = device id, b = brownout level
 };
 
 [[nodiscard]] std::string_view TraceEventTypeName(TraceEventType t);

@@ -11,6 +11,7 @@ Metrics& M() {
     Metrics out;
     out.net_pool_free = r.GetGauge("net.pool_free");
     out.net_pool_foreign_release = r.GetCounter("net.pool_foreign_release");
+    out.net_pool_exhausted = r.GetCounter("net.pool_exhausted");
     out.sdn_microflow_hits = r.GetCounter("sdn.microflow_hits");
     out.sdn_microflow_misses = r.GetCounter("sdn.microflow_misses");
     out.sdn_microflow_stale = r.GetCounter("sdn.microflow_stale");
@@ -24,6 +25,14 @@ Metrics& M() {
     out.ctl_heartbeat_misses = r.GetCounter("ctl.heartbeat_misses");
     out.ctl_recoveries = r.GetCounter("ctl.recoveries");
     out.ctl_mttr_ns = r.GetHistogram("ctl.mttr_ns");
+    out.ctl_admission_level = r.GetGauge("ctl.admission.level");
+    out.ctl_admission_transitions = r.GetCounter("ctl.admission.transitions");
+    out.ctl_admission_shed_launches =
+        r.GetCounter("ctl.admission.shed_launches");
+    out.ctl_admission_deferred_restarts =
+        r.GetCounter("ctl.admission.deferred_restarts");
+    out.ctl_admission_backpressure_drops =
+        r.GetCounter("ctl.admission.backpressure_drops");
     return out;
   }();
   return m;

@@ -22,6 +22,8 @@ struct Metrics {
   Gauge* net_pool_free;            // PacketPool free-list occupancy
   Counter* net_pool_foreign_release;  // releases landing on a thread that
                                       // doesn't own the packet's pool
+  Counter* net_pool_exhausted;     // admission samples whose live-packet
+                                   // total exceeded the configured budget
 
   // ---- sdn: classification.
   Counter* sdn_microflow_hits;     // exact-match cache served
@@ -45,6 +47,13 @@ struct Metrics {
   Histogram* ctl_mttr_ns;          // detection -> forwarding restored
                                    // (simulated time, unlike the
                                    // wall-clock spans above)
+
+  // ---- control: admission / brownout (see control/admission.h).
+  Gauge* ctl_admission_level;      // current BrownoutLevel (0..3)
+  Counter* ctl_admission_transitions;        // level changes
+  Counter* ctl_admission_shed_launches;      // µmbox launches refused
+  Counter* ctl_admission_deferred_restarts;  // recovery restarts delayed
+  Counter* ctl_admission_backpressure_drops; // ingress frames shed
 };
 
 /// The shared handle bundle (registered on first use).

@@ -46,6 +46,11 @@ void Switch::Receive(net::PacketPtr pkt, int port) {
     return;
   }
 
+  if (gate_ && !gate_(*pkt, *frame, port)) {
+    ++stats_.admission_drops;
+    return;
+  }
+
   // Returning µmbox verdict traffic: the *origin* switch decapsulates
   // and delivers by L2 table; transit switches pass the tunnel intact
   // toward the origin (otherwise the origin's diversion rules would

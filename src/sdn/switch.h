@@ -76,6 +76,16 @@ class Switch final : public net::PacketSink {
   }
   MicroflowCache& microflow_cache() { return microflow_cache_; }
 
+  /// Admission backpressure hook: consulted once per received frame
+  /// (after parse, before any forwarding decision). Return false to shed
+  /// the frame at ingress — counted in stats().admission_drops. The
+  /// callback owns all exemption policy (tunnel transit, control-plane
+  /// traffic, in-flight replies); the switch stays policy-free.
+  using IngressGate =
+      std::function<bool(const net::Packet& pkt,
+                         const proto::ParsedFrame& frame, int port)>;
+  void SetIngressGate(IngressGate gate) { gate_ = std::move(gate); }
+
   /// Sends a raw frame out a port (controller PacketOut).
   void Output(net::PacketPtr pkt, int port);
 
@@ -88,6 +98,7 @@ class Switch final : public net::PacketSink {
     std::uint64_t drops = 0;
     std::uint64_t tunneled = 0;
     std::uint64_t decapsulated = 0;
+    std::uint64_t admission_drops = 0;  // shed by the ingress gate
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] int PortCount() const {
@@ -114,6 +125,7 @@ class Switch final : public net::PacketSink {
   MicroflowCache microflow_cache_;
   bool microflow_enabled_ = true;
   PacketInHandler* handler_ = nullptr;
+  IngressGate gate_;
   Stats stats_;
 };
 

@@ -33,6 +33,12 @@
 //     G006 error  dangling output port bypasses downstream security
 //                 elements (packets silently egress past the DPI/filter
 //                 chain — fail-open)
+//     G007 error  µmbox boot-queue limit is 0 while boot-time queueing
+//                 is enabled: every packet arriving during a boot window
+//                 is silently blackholed
+//          warn   aggregate boot-queue capacity (limit × cluster slots)
+//                 exceeds the deployment's packet-pool budget — parked
+//                 boot traffic alone can exhaust the pool
 //
 //   R0xx — ruleset layer (Snort-lite rules; RuleSet::Lint)
 //     R001 warn   empty content pattern

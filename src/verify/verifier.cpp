@@ -26,10 +26,38 @@ void LintPostureGraphs(const VerifyInput& in, Report& report) {
   lint(in.policy->DefaultPosture(), "default");
 }
 
+/// G007: boot-queue sizing against the deployment's runtime limits.
+void CheckDeploymentLimits(const VerifyInput::DeploymentLimits& lim,
+                           Report& report) {
+  if (lim.queue_while_booting && lim.boot_queue_limit == 0) {
+    report.Add("G007", Severity::kError, "deployment limits",
+               "boot_queue_limit is 0 while queue_while_booting is on: "
+               "every packet arriving during a µmbox boot window is "
+               "silently dropped (guaranteed boot blackhole); set a "
+               "positive limit or disable boot-time queueing");
+  }
+  if (lim.pool_capacity > 0 && lim.cluster_slots > 0) {
+    const std::size_t aggregate =
+        lim.boot_queue_limit * static_cast<std::size_t>(lim.cluster_slots);
+    if (aggregate > lim.pool_capacity) {
+      report.Add("G007", Severity::kWarn, "deployment limits",
+                 "aggregate boot-queue capacity " +
+                     std::to_string(aggregate) + " (boot_queue_limit " +
+                     std::to_string(lim.boot_queue_limit) + " x " +
+                     std::to_string(lim.cluster_slots) +
+                     " cluster slots) exceeds the packet-pool budget " +
+                     std::to_string(lim.pool_capacity) +
+                     ": parked boot traffic alone can exhaust the pool "
+                     "and starve live forwarding");
+    }
+  }
+}
+
 }  // namespace
 
 Report Verify(const VerifyInput& in) {
   Report report;
+  if (in.limits) CheckDeploymentLimits(*in.limits, report);
   if (in.policy) {
     if (in.space) {
       PolicyCheckInput pin;

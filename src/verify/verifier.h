@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,22 @@ struct VerifyInput {
   std::vector<std::string> goals;
   dataplane::ElementContext element_ctx;
   double enumeration_limit = 1e6;
+
+  /// Optional: runtime sizing limits for the G007 boot-queue checks.
+  /// Unset skips the pass (policy-file-only lint runs have no limits).
+  struct DeploymentLimits {
+    /// Boot-queue bound stamped onto launched µmboxes
+    /// (ControllerConfig::boot_queue_limit).
+    std::size_t boot_queue_limit = 256;
+    bool queue_while_booting = true;
+    /// Total µmbox slots: host capacity summed over the cluster. Bounds
+    /// how many boot queues can exist at once.
+    int cluster_slots = 0;
+    /// Packet-pool budget (AdmissionConfig::pool_capacity); 0 = no
+    /// budget declared, the aggregate-capacity warning is skipped.
+    std::size_t pool_capacity = 0;
+  };
+  std::optional<DeploymentLimits> limits;
 };
 
 /// Runs every applicable layer and returns the finalized report.

@@ -163,6 +163,40 @@ TEST(ObsRegistryTest, JsonAndPrometheusExportContainMetrics) {
   EXPECT_NE(prom.find("test_export_ns_sum 300"), std::string::npos);
 }
 
+// Pin the admission-control surface: dashboards key on these names, so
+// renaming them is a breaking change this test makes deliberate.
+TEST(ObsRegistryTest, AdmissionMetricsExportUnderStableNames) {
+  auto& m = obs::M();
+  m.ctl_admission_level->Set(2);
+  m.ctl_admission_transitions->Inc(3);
+  m.ctl_admission_shed_launches->Inc(1);
+  m.ctl_admission_deferred_restarts->Inc(4);
+  m.ctl_admission_backpressure_drops->Inc(5);
+
+  auto& reg = obs::MetricsRegistry::Global();
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"ctl.admission.level\": 2"), std::string::npos);
+  for (const char* name :
+       {"\"ctl.admission.transitions\"", "\"ctl.admission.shed_launches\"",
+        "\"ctl.admission.deferred_restarts\"",
+        "\"ctl.admission.backpressure_drops\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+
+  const std::string prom = reg.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE ctl_admission_level gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ctl_admission_level 2"), std::string::npos);
+  for (const char* name :
+       {"ctl_admission_transitions", "ctl_admission_shed_launches",
+        "ctl_admission_deferred_restarts",
+        "ctl_admission_backpressure_drops"}) {
+    EXPECT_NE(prom.find(std::string("# TYPE ") + name + " counter"),
+              std::string::npos)
+        << name;
+  }
+}
+
 TEST(ObsRegistryTest, StatsCompatAdapterPublishesIntoRegistry) {
   // The legacy common/stats.h counters are now views onto the registry:
   // bumping GlobalFastPath() must be visible under its registry name.

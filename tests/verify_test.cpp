@@ -463,6 +463,57 @@ TEST(Verifier, VerifyLintsEveryDistinctPostureGraph) {
   EXPECT_EQ(Codes(report), std::vector<std::string>{"G004"});
 }
 
+// ---- G007: deployment boot-queue sizing ------------------------------
+
+TEST(Verifier, FlagsZeroBootQueueLimitAsBlackhole) {
+  VerifyInput in;  // limits alone are checkable — no policy needed
+  VerifyInput::DeploymentLimits limits;
+  limits.boot_queue_limit = 0;
+  limits.queue_while_booting = true;
+  in.limits = limits;
+  const auto report = Verify(in);
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"G007"});
+  EXPECT_EQ(report.findings()[0].severity, Severity::kError);
+}
+
+TEST(Verifier, ZeroBootQueueLimitIsFineWithoutBootQueueing) {
+  VerifyInput in;
+  VerifyInput::DeploymentLimits limits;
+  limits.boot_queue_limit = 0;
+  limits.queue_while_booting = false;  // drops are the declared intent
+  in.limits = limits;
+  EXPECT_TRUE(Verify(in).findings().empty());
+}
+
+TEST(Verifier, WarnsWhenBootQueuesCanSwallowThePool) {
+  VerifyInput in;
+  VerifyInput::DeploymentLimits limits;
+  limits.boot_queue_limit = 4096;
+  limits.cluster_slots = 64;  // 262144 parked packets possible...
+  limits.pool_capacity = 10000;  // ...against a 10k pool budget
+  in.limits = limits;
+  const auto report = Verify(in);
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"G007"});
+  EXPECT_EQ(report.findings()[0].severity, Severity::kWarn);
+}
+
+TEST(Verifier, ProportionateLimitsProduceNoG007) {
+  VerifyInput in;
+  VerifyInput::DeploymentLimits limits;
+  limits.boot_queue_limit = 256;
+  limits.cluster_slots = 4;
+  limits.pool_capacity = 10000;
+  in.limits = limits;
+  EXPECT_TRUE(Verify(in).findings().empty());
+
+  // No declared pool budget: the aggregate warning is skipped entirely.
+  limits.boot_queue_limit = 1 << 20;
+  limits.cluster_slots = 1024;
+  limits.pool_capacity = 0;
+  in.limits = limits;
+  EXPECT_TRUE(Verify(in).findings().empty());
+}
+
 TEST(Report, OrderIsDeterministicAndSeverityFirst) {
   Report report;
   report.Add("X003", Severity::kInfo, "b", "info");

@@ -251,6 +251,14 @@ bool RunScenario(const std::string& name, verify::Report& report) {
   in.devices = s.devices;
   in.device_names = s.names;
   in.attack_graph = &s.graph;
+  // Scenario mode has a real deployment, so the G007 sizing pass runs
+  // against its actual runtime limits.
+  const core::DeploymentOptions& opt = s.dep->options();
+  verify::VerifyInput::DeploymentLimits limits;
+  limits.boot_queue_limit = opt.controller.boot_queue_limit;
+  limits.cluster_slots = opt.cluster_hosts * opt.host_capacity;
+  limits.pool_capacity = opt.admission.pool_capacity;
+  in.limits = limits;
   Merge(verify::Verify(in), "scenario " + name, report);
   return true;
 }
