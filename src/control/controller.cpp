@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "control/federation.h"
 #include "obs/obs.h"
 #include "proto/frame.h"
 #include "proto/iotctl.h"
@@ -102,7 +103,7 @@ void IoTSecController::BindEnvironment(env::Environment* environment) {
     sim_.After(config_.control_latency, [this, var = change.variable, level] {
       ++stats_.env_events;
       view_.SetEnvLevel(var, level);
-      ScheduleReevaluate();
+      NotifyViewEvent(kInvalidDevice, policy::StateSpace::EnvDim(var));
     });
   });
 }
@@ -191,8 +192,7 @@ void IoTSecController::Start() {
       entry.match.eth_dst = md.device->spec().mac;
       entry.actions = {sdn::FlowAction::Output(md.port)};
       entry.version = flow_version_;
-      ms.sw->flow_table().Install(entry);
-      ++stats_.flow_ops;
+      EmitInstall(ms.sw, entry, /*urgent=*/false);
     }
     // Tunnel transit: in multi-switch topologies, diverted (kToUmbox)
     // frames from remote edges arrive as regular frames and must be
@@ -204,8 +204,7 @@ void IoTSecController::Start() {
       transit.match.ethertype = proto::EtherType::kTunnel;
       transit.actions = {sdn::FlowAction::Output(ms.cluster_port)};
       transit.version = flow_version_;
-      ms.sw->flow_table().Install(transit);
-      ++stats_.flow_ops;
+      EmitInstall(ms.sw, transit, /*urgent=*/false);
     }
   }
   Reevaluate();
@@ -251,10 +250,10 @@ void IoTSecController::Receive(net::PacketPtr pkt, int port) {
     // control latency (queueing + processing), which is exactly the
     // stale-context window bench F5 measures.
     sim_.After(config_.control_latency,
-               [this, name = md->device->spec().name,
-                reading = *reading] {
+               [this, id = md->device->id(),
+                name = md->device->spec().name, reading = *reading] {
                  view_.SetDeviceState(name, reading);
-                 ScheduleReevaluate();
+                 NotifyViewEvent(id, policy::StateSpace::StateDim(name));
                });
   }
 }
@@ -278,7 +277,14 @@ void IoTSecController::SetDeviceContext(const std::string& device_name,
   audit_.Record(sim_.Now(), AuditCategory::kContext, device_name,
                 "operator set context to " + context);
   view_.SetDeviceContext(device_name, context);
-  ScheduleReevaluate();
+  DeviceId owner = kInvalidDevice;
+  for (const auto& [id, md] : devices_) {
+    if (md.device->spec().name == device_name) {
+      owner = id;
+      break;
+    }
+  }
+  NotifyViewEvent(owner, policy::StateSpace::ContextDim(device_name));
 }
 
 void IoTSecController::EscalateContext(const std::string& device_name,
@@ -293,11 +299,34 @@ void IoTSecController::EscalateContext(const std::string& device_name,
                 current.value_or("?") + " -> " + next + " after " +
                     std::to_string(md.alert_count) + " alert(s)");
   view_.SetDeviceContext(device_name, next);
+  NotifyViewEvent(md.device->id(),
+                  policy::StateSpace::ContextDim(device_name));
+}
+
+void IoTSecController::NotifyViewEvent(DeviceId device,
+                                       const std::string& dim_key) {
+  if (federation_ != nullptr && started_) {
+    if (device != kInvalidDevice) {
+      federation_->OnDeviceEvent(device, dim_key);
+    } else {
+      federation_->OnGlobalEvent(dim_key);
+    }
+    return;
+  }
+  // Flat: every view change is one message to the one controller.
+  if (obs::Enabled()) obs::M().ctl_msg_context_syncs->Inc();
   ScheduleReevaluate();
 }
 
 void IoTSecController::ScheduleReevaluate() {
-  if (!started_ || reeval_pending_) return;
+  if (!started_) return;
+  if (reeval_pending_) {
+    // The guard is also the coalescer: this wakeup rides the already
+    // scheduled sweep instead of enqueueing a duplicate Reevaluate.
+    ++stats_.reevals_coalesced;
+    if (obs::Enabled()) obs::M().ctl_reevals_coalesced->Inc();
+    return;
+  }
   reeval_pending_ = true;
   sim_.After(config_.control_latency, [this] {
     reeval_pending_ = false;
@@ -306,9 +335,21 @@ void IoTSecController::ScheduleReevaluate() {
 }
 
 void IoTSecController::Reevaluate() {
+  std::vector<DeviceId> all;
+  all.reserve(devices_.size());
+  for (const auto& [id, md] : devices_) all.push_back(id);
+  ReevaluateDevices(all);
+}
+
+void IoTSecController::ReevaluateDevices(
+    const std::vector<DeviceId>& devices) {
   ++stats_.policy_evals;
   const policy::SystemState state = view_.ToSystemState(space_);
-  for (auto& [id, md] : devices_) {
+  for (const DeviceId device_id : devices) {
+    const auto it = devices_.find(device_id);
+    if (it == devices_.end()) continue;
+    const DeviceId id = it->first;
+    ManagedDevice& md = it->second;
     const policy::Posture& posture = policy_.Evaluate(space_, state, id);
     if (posture == md.posture) continue;
     ++stats_.posture_changes;
@@ -450,8 +491,7 @@ void IoTSecController::InstallDiversion(ManagedDevice& md, UmboxId umbox) {
       entry.actions = {sdn::FlowAction::Tunnel(umbox, tunnel_port)};
       entry.cookie = 0x1000000ull + md.device->id();
       entry.version = flow_version_;
-      ms.sw->flow_table().Install(entry);
-      ++stats_.flow_ops;
+      EmitInstall(ms.sw, entry, /*urgent=*/false);
     }
   }
 }
@@ -478,8 +518,9 @@ void IoTSecController::InstallQuarantine(ManagedDevice& md) {
       entry.actions = {sdn::FlowAction::Drop()};
       entry.cookie = 0x1000000ull + md.device->id();
       entry.version = flow_version_;
-      ms.sw->flow_table().Install(entry);
-      ++stats_.flow_ops;
+      // Quarantine drops are the fail-closed invariant: they must not
+      // wait out a batching quantum.
+      EmitInstall(ms.sw, entry, /*urgent=*/true);
     }
   }
 }
@@ -487,9 +528,33 @@ void IoTSecController::InstallQuarantine(ManagedDevice& md) {
 void IoTSecController::RemoveDiversion(ManagedDevice& md) {
   for (auto& ms : switches_) {
     if (ms.sw != md.sw) continue;
-    stats_.flow_ops +=
-        ms.sw->flow_table().RemoveByCookie(0x1000000ull + md.device->id());
+    EmitRemoveByCookie(ms.sw, 0x1000000ull + md.device->id(),
+                       /*urgent=*/false);
   }
+}
+
+void IoTSecController::EmitInstall(sdn::Switch* sw,
+                                   const sdn::FlowEntry& entry,
+                                   bool urgent) {
+  if (federation_ != nullptr) {
+    federation_->batcher().Install(sw, entry, urgent);
+    return;
+  }
+  sw->flow_table().Install(entry);
+  ++stats_.flow_ops;
+  // Flat: every flow op is its own control message.
+  if (obs::Enabled()) obs::M().ctl_msg_rule_pushes->Inc();
+}
+
+void IoTSecController::EmitRemoveByCookie(sdn::Switch* sw,
+                                          std::uint64_t cookie,
+                                          bool urgent) {
+  if (federation_ != nullptr) {
+    federation_->batcher().RemoveByCookie(sw, cookie, urgent);
+    return;
+  }
+  stats_.flow_ops += sw->flow_table().RemoveByCookie(cookie);
+  if (obs::Enabled()) obs::M().ctl_msg_rule_pushes->Inc();
 }
 
 // ---------------------------------------------------------------------
@@ -514,6 +579,13 @@ void IoTSecController::OnHostHeartbeat(ServerId host,
                                        std::vector<UmboxId> running) {
   ++stats_.heartbeats;
   if (obs::Enabled()) obs::M().ctl_heartbeats->Inc();
+  if (federation_ != nullptr) {
+    // Locals absorb heartbeats; the global tier gets one aggregated
+    // summary per sync epoch.
+    federation_->NoteHeartbeat();
+  } else if (obs::Enabled()) {
+    obs::M().ctl_msg_heartbeat_forwards->Inc();
+  }
   health_.OnHeartbeat(host, running, sim_.Now());
 }
 
@@ -819,6 +891,16 @@ int IoTSecController::RecoveringCount() const {
 bool IoTSecController::Recovering(DeviceId device) const {
   const auto it = devices_.find(device);
   return it != devices_.end() && it->second.recovering;
+}
+
+std::vector<std::pair<DeviceId, std::string>> IoTSecController::DeviceNames()
+    const {
+  std::vector<std::pair<DeviceId, std::string>> out;
+  out.reserve(devices_.size());
+  for (const auto& [id, md] : devices_) {
+    out.emplace_back(id, md.device->spec().name);
+  }
+  return out;
 }
 
 std::optional<UmboxId> IoTSecController::UmboxOf(DeviceId device) const {

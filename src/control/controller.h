@@ -31,6 +31,8 @@
 
 namespace iotsec::control {
 
+class FederatedControlPlane;
+
 struct ControllerConfig {
   /// Event arrival -> decision latency (RPC + processing).
   SimDuration control_latency = kMillisecond;
@@ -154,6 +156,27 @@ class IoTSecController final : public sdn::PacketInHandler,
 
   [[nodiscard]] const HealthMonitor& health() const { return health_; }
 
+  // ---- Federation tier API (see control/federation.h). When a
+  // federation is attached, view-change events route to segment-local
+  // reevaluations and flow ops route through the rule-push batcher; with
+  // no federation (the default) every path below is byte-identical to
+  // the flat controller.
+  void SetFederation(FederatedControlPlane* federation) {
+    federation_ = federation;
+  }
+  /// Segment-scoped policy evaluation: exactly the given devices are
+  /// rechecked against the current view; posture machinery (ApplyPosture,
+  /// diversion/quarantine installs, recovery) is shared with the flat
+  /// path. Flat Reevaluate() == ReevaluateDevices(every device).
+  void ReevaluateDevices(const std::vector<DeviceId>& devices);
+  /// Registered (id, name) pairs, ascending id — the federation's
+  /// segment-assignment input.
+  [[nodiscard]] std::vector<std::pair<DeviceId, std::string>> DeviceNames()
+      const;
+  [[nodiscard]] const policy::FsmPolicy& ActivePolicy() const {
+    return policy_;
+  }
+
   struct Stats {
     std::uint64_t telemetry_events = 0;
     std::uint64_t env_events = 0;
@@ -164,6 +187,7 @@ class IoTSecController final : public sdn::PacketInHandler,
     std::uint64_t umbox_reconfigs = 0;
     std::uint64_t flow_ops = 0;
     std::uint64_t posture_changes = 0;
+    std::uint64_t reevals_coalesced = 0;  // wakeups absorbed by the guard
     std::uint64_t enforcement_failures = 0;  // fail-closed isolations
     std::uint64_t crowd_rules_applied = 0;
     // ---- self-healing observability
@@ -218,6 +242,17 @@ class IoTSecController final : public sdn::PacketInHandler,
 
   void ScheduleReevaluate();
   void Reevaluate();
+  /// Routes a view mutation to the federation (segment-local scheduling)
+  /// or, flat, to ScheduleReevaluate(). `device` owns the changed key;
+  /// kInvalidDevice marks global keys (environment levels).
+  void NotifyViewEvent(DeviceId device, const std::string& dim_key);
+  /// Flow-op emission: direct table writes when flat, buffered through
+  /// the federation's RulePushBatcher otherwise. Urgent ops (quarantine
+  /// drops — fail-closed must not wait for a batch) force a flush.
+  void EmitInstall(sdn::Switch* sw, const sdn::FlowEntry& entry,
+                   bool urgent);
+  void EmitRemoveByCookie(sdn::Switch* sw, std::uint64_t cookie,
+                          bool urgent);
   void ApplyPosture(ManagedDevice& md, const policy::Posture& posture);
   /// Adds the crowd rules for the device's SKU in front of its chain.
   [[nodiscard]] std::string EffectiveConfig(const ManagedDevice& md,
@@ -276,6 +311,7 @@ class IoTSecController final : public sdn::PacketInHandler,
   SimDuration control_extra_delay_ = 0;
   Rng control_fault_rng_;
   AdmissionController* admission_ = nullptr;
+  FederatedControlPlane* federation_ = nullptr;
   learn::CrowdRepo* crowd_repo_ = nullptr;
   /// Accepted crowd rule texts per SKU, ready to splice into chains.
   std::map<std::string, std::vector<std::string>> crowd_rules_;

@@ -27,13 +27,23 @@ std::vector<std::vector<std::string>> PartitionByInteraction(
     parent[find(ia->second)] = find(ib->second);
   }
 
+  // Canonical output: groups ordered by their smallest member index,
+  // members in input order. Union-find root identity depends on edge
+  // order, so keying the output by root would let duplicate, reversed or
+  // reordered edges permute the result — the federation derives segment
+  // numbering from this, so the order must be a function of the inputs'
+  // *content* only.
+  std::map<std::size_t, std::size_t> min_member;  // root -> smallest index
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    min_member.try_emplace(find(i), i);
+  }
   std::map<std::size_t, std::vector<std::string>> groups;
   for (std::size_t i = 0; i < devices.size(); ++i) {
-    groups[find(i)].push_back(devices[i]);
+    groups[min_member.at(find(i))].push_back(devices[i]);
   }
   std::vector<std::vector<std::string>> out;
   out.reserve(groups.size());
-  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  for (auto& [first, members] : groups) out.push_back(std::move(members));
   return out;
 }
 

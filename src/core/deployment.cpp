@@ -455,6 +455,16 @@ void Deployment::UsePolicy(policy::StateSpace space,
 void Deployment::Start() {
   if (started_) return;
   started_ = true;
+  // Federation builds at Start: segment assignment needs the final
+  // device set and the active policy, and its tickers (delta sync, push
+  // flush) live on shard 0 — the placement-invariant clock.
+  if (options_.with_iotsec && options_.federation.enabled) {
+    federation_ = std::make_unique<control::FederatedControlPlane>(
+        sim_, *controller_, options_.federation);
+    controller_->SetFederation(federation_.get());
+    federation_->Build();
+    federation_->Start();
+  }
   registry_.StartAll();
   if (options_.with_iotsec) controller_->Start();
   // Unsharded engine has no barriers; a plain ticker gives the same

@@ -23,6 +23,7 @@
 
 #include "baseline/baseline.h"
 #include "control/controller.h"
+#include "control/federation.h"
 #include "dataplane/cluster.h"
 #include "devices/attacker.h"
 #include "devices/models.h"
@@ -52,6 +53,12 @@ struct DeploymentOptions {
   /// ingress. Signals are sampled at quantum barriers when sharded, on a
   /// sample_period ticker otherwise.
   control::AdmissionConfig admission;
+  /// Hierarchical controller federation (see control/federation.h).
+  /// Disabled (default) keeps the flat controller byte-identical to every
+  /// release before federation existed. Enabled: segments derived from
+  /// the policy's interaction graph get local reevaluation, cross-segment
+  /// state rides delta syncs, and rule pushes are batched per switch.
+  control::FederationConfig federation;
   int cluster_hosts = 1;
   int host_capacity = 64;
   net::LinkConfig link;
@@ -119,6 +126,11 @@ class Deployment {
   /// Non-null iff options().admission.mode != kOff (and IoTSec is on).
   [[nodiscard]] control::AdmissionController* admission() {
     return admission_.get();
+  }
+  /// Non-null iff options().federation.enabled (and IoTSec is on);
+  /// created at Start(), once the device set and policy are final.
+  [[nodiscard]] control::FederatedControlPlane* federation() {
+    return federation_.get();
   }
   [[nodiscard]] const DeploymentOptions& options() const { return options_; }
   [[nodiscard]] net::Ipv4Prefix lan_prefix() const {
@@ -247,6 +259,7 @@ class Deployment {
   std::unique_ptr<sdn::Switch> switch_;
   std::unique_ptr<control::IoTSecController> controller_;
   std::unique_ptr<control::AdmissionController> admission_;
+  std::unique_ptr<control::FederatedControlPlane> federation_;
   SimTime next_admission_sample_ = 0;
   std::vector<std::unique_ptr<dataplane::UmboxHost>> hosts_;
   dataplane::Cluster cluster_;

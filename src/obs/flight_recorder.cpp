@@ -24,6 +24,8 @@ std::string_view TraceEventTypeName(TraceEventType t) {
     case TraceEventType::kAdmissionTransition: return "admission_transition";
     case TraceEventType::kAdmissionShed: return "admission_shed";
     case TraceEventType::kAdmissionDefer: return "admission_defer";
+    case TraceEventType::kFederationSync: return "federation_sync";
+    case TraceEventType::kFederationPush: return "federation_push";
   }
   return "unknown";
 }

@@ -40,6 +40,8 @@ enum class TraceEventType : std::uint16_t {
   kAdmissionTransition,  // a = (from<<8)|to level, b = pressure permille
   kAdmissionShed,     // a = device id, b = brownout level
   kAdmissionDefer,    // a = device id, b = brownout level
+  kFederationSync,    // a = segment, b = delta entries shipped
+  kFederationPush,    // a = switch id, b = batched flow-mod ops
 };
 
 [[nodiscard]] std::string_view TraceEventTypeName(TraceEventType t);

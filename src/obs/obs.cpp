@@ -33,6 +33,15 @@ Metrics& M() {
         r.GetCounter("ctl.admission.deferred_restarts");
     out.ctl_admission_backpressure_drops =
         r.GetCounter("ctl.admission.backpressure_drops");
+    out.ctl_reevals_coalesced = r.GetCounter("ctl.reevals_coalesced");
+    out.ctl_msg_rule_pushes = r.GetCounter("ctl.msg.rule_pushes");
+    out.ctl_msg_context_syncs = r.GetCounter("ctl.msg.context_syncs");
+    out.ctl_msg_heartbeat_forwards =
+        r.GetCounter("ctl.msg.heartbeat_forwards");
+    out.ctl_fed_sync_keys = r.GetCounter("ctl.fed.sync_keys");
+    out.ctl_fed_push_ops = r.GetCounter("ctl.fed.push_ops");
+    out.ctl_fed_local_reevals = r.GetCounter("ctl.fed.local_reevals");
+    out.ctl_fed_remote_reevals = r.GetCounter("ctl.fed.remote_reevals");
     return out;
   }();
   return m;

@@ -54,6 +54,21 @@ struct Metrics {
   Counter* ctl_admission_shed_launches;      // µmbox launches refused
   Counter* ctl_admission_deferred_restarts;  // recovery restarts delayed
   Counter* ctl_admission_backpressure_drops; // ingress frames shed
+
+  // ---- control: reevaluation coalescing + control-fabric messages.
+  // ctl.msg.* meters what crosses the *global* control fabric: per-event
+  // in flat mode, per-delta/batch/summary in federated mode — the ratio
+  // the federation bench gates on.
+  Counter* ctl_reevals_coalesced;      // duplicate wakeups absorbed
+  Counter* ctl_msg_rule_pushes;        // switch-bound rule-push messages
+  Counter* ctl_msg_context_syncs;      // view/context sync messages
+  Counter* ctl_msg_heartbeat_forwards; // heartbeats (or summaries) forwarded
+
+  // ---- control: federation (see control/federation.h).
+  Counter* ctl_fed_sync_keys;      // delta entries shipped to the global tier
+  Counter* ctl_fed_push_ops;       // flow-mod ops emitted inside batches
+  Counter* ctl_fed_local_reevals;  // segment-local reevaluations
+  Counter* ctl_fed_remote_reevals; // sync/env-wakeup-driven reevaluations
 };
 
 /// The shared handle bundle (registered on first use).

@@ -21,6 +21,21 @@ int Switch::PortOfMac(const net::MacAddress& mac) const {
   return it == mac_table_.end() ? -1 : it->second;
 }
 
+std::size_t Switch::ApplyFlowMods(const std::vector<FlowMod>& mods) {
+  std::size_t mutations = 0;
+  for (const FlowMod& mod : mods) {
+    if (mod.op == FlowMod::Op::kInstall) {
+      table_.Install(mod.entry);
+      ++mutations;
+    } else {
+      mutations += table_.RemoveByCookie(mod.cookie);
+    }
+  }
+  ++stats_.flowmod_batches;
+  stats_.flowmod_ops += mods.size();
+  return mutations;
+}
+
 void Switch::Output(net::PacketPtr pkt, int port) {
   if (port < 0 || port >= static_cast<int>(ports_.size())) return;
   ports_[static_cast<std::size_t>(port)].link->Send(

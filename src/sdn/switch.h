@@ -22,6 +22,16 @@
 
 namespace iotsec::sdn {
 
+/// One operation inside a batched flow-mod message (see
+/// Switch::ApplyFlowMods). The federated control plane buffers these per
+/// switch and flushes them as a single message per quantum.
+struct FlowMod {
+  enum class Op : std::uint8_t { kInstall, kRemoveByCookie };
+  Op op = Op::kInstall;
+  FlowEntry entry;           // kInstall
+  std::uint64_t cookie = 0;  // kRemoveByCookie (mirrors entry.cookie)
+};
+
 /// Receives table-miss packets from switches (implemented by controllers).
 class PacketInHandler {
  public:
@@ -67,6 +77,11 @@ class Switch final : public net::PacketSink {
   FlowTable& flow_table() { return table_; }
   [[nodiscard]] const FlowTable& flow_table() const { return table_; }
 
+  /// Applies one batched flow-mod message: ops in order, counted as a
+  /// single control-plane message in stats(). Returns the number of
+  /// table mutations (installs + entries actually removed).
+  std::size_t ApplyFlowMods(const std::vector<FlowMod>& mods);
+
   /// Exact-match fast path in front of the flow table's linear scan.
   /// Enabled by default; benches disable it to measure the slow path.
   void SetMicroflowEnabled(bool enabled) { microflow_enabled_ = enabled; }
@@ -99,6 +114,8 @@ class Switch final : public net::PacketSink {
     std::uint64_t tunneled = 0;
     std::uint64_t decapsulated = 0;
     std::uint64_t admission_drops = 0;  // shed by the ingress gate
+    std::uint64_t flowmod_batches = 0;  // batched messages applied
+    std::uint64_t flowmod_ops = 0;      // ops inside those batches
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] int PortCount() const {

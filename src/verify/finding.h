@@ -52,6 +52,11 @@
 //     X002 warn   path only partially covered: the best hop's guard
 //                 disappears in some state along the path
 //     X003 info   path covered (records the guarding hop)
+//     X004 error  federated placement breaks a cross-segment predicate: a
+//                 rule reads another segment's device context/state but
+//                 the reading or owning segment has no global-sync path,
+//                 so the predicate evaluates against a permanently stale
+//                 view (the rule can silently never fire — fail-open)
 #pragma once
 
 #include <string>

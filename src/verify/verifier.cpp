@@ -53,6 +53,53 @@ void CheckDeploymentLimits(const VerifyInput::DeploymentLimits& lim,
   }
 }
 
+/// X004: cross-segment predicates need a working sync path on both ends.
+/// The federated control plane only propagates another segment's device
+/// context/state through the global delta sync; a rule reading across
+/// segments where either side is unsynced evaluates a permanently stale
+/// view — typically a quarantine rule that silently never fires.
+void CheckFederationPlacement(const VerifyInput& in, Report& report) {
+  const auto& fed = *in.federation;
+  // Invert device_names so predicate dims ("ctx:<name>"/"dev:<name>")
+  // resolve to owning devices.
+  std::map<std::string, DeviceId> by_name;
+  for (const auto& [id, name] : in.device_names) by_name[name] = id;
+  const auto segment_of = [&](DeviceId id) {
+    const auto it = fed.segment_of.find(id);
+    return it == fed.segment_of.end() ? -1 : it->second;
+  };
+  const auto synced = [&](int seg) {
+    return fed.synced_segments.count(seg) != 0;
+  };
+  for (const auto& rule : in.policy->rules()) {
+    if (rule.device == kInvalidDevice) continue;
+    const int reader_seg = segment_of(rule.device);
+    if (reader_seg < 0) continue;  // unplaced devices are not checkable
+    std::set<std::string> reported_dims;
+    for (const auto& [dim, values] : rule.when.constraints) {
+      if (!StartsWith(dim, "ctx:") && !StartsWith(dim, "dev:")) continue;
+      const auto owner_it = by_name.find(dim.substr(4));
+      if (owner_it == by_name.end()) continue;
+      const int owner_seg = segment_of(owner_it->second);
+      if (owner_seg < 0 || owner_seg == reader_seg) continue;
+      if (synced(reader_seg) && synced(owner_seg)) continue;
+      if (!reported_dims.insert(dim).second) continue;
+      const int broken = synced(reader_seg) ? owner_seg : reader_seg;
+      const auto reader_name = in.device_names.find(rule.device);
+      report.Add(
+          "X004", Severity::kError, "policy rule " + rule.name,
+          "predicate reads '" + dim + "' across segments (device '" +
+              (reader_name != in.device_names.end() ? reader_name->second
+                                                    : "?") +
+              "' in segment " + std::to_string(reader_seg) +
+              ", owner in segment " + std::to_string(owner_seg) +
+              ") but segment " + std::to_string(broken) +
+              " has no global-sync path: the rule evaluates a "
+              "permanently stale view and can silently never fire");
+    }
+  }
+}
+
 }  // namespace
 
 Report Verify(const VerifyInput& in) {
@@ -70,6 +117,7 @@ Report Verify(const VerifyInput& in) {
       CheckPolicy(pin, report);
     }
     LintPostureGraphs(in, report);
+    if (in.federation) CheckFederationPlacement(in, report);
     if (in.space && in.attack_graph) {
       CoverageInput cin;
       cin.space = in.space;

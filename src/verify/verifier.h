@@ -12,6 +12,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,19 @@ struct VerifyInput {
     std::size_t pool_capacity = 0;
   };
   std::optional<DeploymentLimits> limits;
+
+  /// Optional: federated control-plane placement for the X004 check. A
+  /// rule whose predicate reads another segment's device dimension only
+  /// sees that dimension through the global delta-sync path; if either
+  /// end of that path is missing, the predicate is evaluated against a
+  /// permanently stale view. Unset skips the pass (flat deployments).
+  struct FederationTopology {
+    /// Segment each device is placed in (control/federation.h numbering).
+    std::map<DeviceId, int> segment_of;
+    /// Segments with a delta-sync path to the global controller.
+    std::set<int> synced_segments;
+  };
+  std::optional<FederationTopology> federation;
 };
 
 /// Runs every applicable layer and returns the finalized report.

@@ -65,6 +65,56 @@ TEST(PartitionTest, GroupsByInteraction) {
   EXPECT_EQ(PartitionByInteraction(devices, {}).size(), 5u);
 }
 
+TEST(PartitionTest, SelfAndDuplicateEdgesCreateNoPhantomPartitions) {
+  const std::vector<std::string> devices = {"a", "b", "c"};
+  // Self-edges and duplicates (either orientation) must neither merge
+  // unrelated devices nor create extra groups.
+  const std::vector<std::pair<std::string, std::string>> edges = {
+      {"a", "a"}, {"a", "b"}, {"b", "a"}, {"a", "b"}, {"c", "c"}};
+  const auto partitions = PartitionByInteraction(devices, edges);
+  ASSERT_EQ(partitions.size(), 2u);
+  EXPECT_EQ(partitions[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(partitions[1], (std::vector<std::string>{"c"}));
+}
+
+TEST(PartitionTest, UnknownDeviceEdgesAreIgnored) {
+  const std::vector<std::string> devices = {"a", "b"};
+  // Edges naming unregistered devices must not materialize them, and an
+  // unknown intermediary must not bridge two known devices.
+  const auto partitions = PartitionByInteraction(
+      devices, {{"a", "ghost"}, {"ghost", "b"}, {"phantom", "phantom"}});
+  ASSERT_EQ(partitions.size(), 2u);
+  EXPECT_EQ(partitions[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ(partitions[1], (std::vector<std::string>{"b"}));
+  for (const auto& group : partitions) {
+    for (const auto& name : group) {
+      EXPECT_TRUE(name == "a" || name == "b") << "phantom device " << name;
+    }
+  }
+}
+
+TEST(PartitionTest, DeterministicOrderUnderEdgePermutation) {
+  const std::vector<std::string> devices = {"e", "d", "c", "b", "a"};
+  // Two components — {e,d} and {c,a} — with b isolated.
+  const auto reference =
+      PartitionByInteraction(devices, {{"d", "e"}, {"a", "c"}});
+  ASSERT_EQ(reference.size(), 3u);
+  // Groups ordered by smallest member *input index*; members keep input
+  // order. "e" comes first because it is devices[0].
+  EXPECT_EQ(reference[0], (std::vector<std::string>{"e", "d"}));
+  EXPECT_EQ(reference[1], (std::vector<std::string>{"c", "a"}));
+  EXPECT_EQ(reference[2], (std::vector<std::string>{"b"}));
+  // Any edge permutation / orientation / duplication yields the same
+  // output — the federation derives segment numbering from it.
+  const std::vector<std::vector<std::pair<std::string, std::string>>>
+      variants = {{{"a", "c"}, {"d", "e"}},
+                  {{"c", "a"}, {"e", "d"}},
+                  {{"d", "e"}, {"d", "e"}, {"a", "c"}, {"c", "a"}}};
+  for (const auto& variant : variants) {
+    EXPECT_EQ(PartitionByInteraction(devices, variant), reference);
+  }
+}
+
 TEST(EventProcessorTest, FifoQueueingDelays) {
   sim::Simulator sim;
   EventProcessor proc(sim, /*service_time=*/10 * kMillisecond);

@@ -197,6 +197,41 @@ TEST(ObsRegistryTest, AdmissionMetricsExportUnderStableNames) {
   }
 }
 
+// Pin the control-fabric message-volume surface (flat vs federated
+// comparisons key on these) plus the federation counters.
+TEST(ObsRegistryTest, ControlMessageMetricsExportUnderStableNames) {
+  auto& m = obs::M();
+  m.ctl_reevals_coalesced->Inc(2);
+  m.ctl_msg_rule_pushes->Inc(7);
+  m.ctl_msg_context_syncs->Inc(3);
+  m.ctl_msg_heartbeat_forwards->Inc(1);
+  m.ctl_fed_sync_keys->Inc(9);
+  m.ctl_fed_push_ops->Inc(11);
+  m.ctl_fed_local_reevals->Inc(5);
+  m.ctl_fed_remote_reevals->Inc(4);
+
+  auto& reg = obs::MetricsRegistry::Global();
+  const std::string json = reg.ToJson();
+  for (const char* name :
+       {"\"ctl.reevals_coalesced\"", "\"ctl.msg.rule_pushes\"",
+        "\"ctl.msg.context_syncs\"", "\"ctl.msg.heartbeat_forwards\"",
+        "\"ctl.fed.sync_keys\"", "\"ctl.fed.push_ops\"",
+        "\"ctl.fed.local_reevals\"", "\"ctl.fed.remote_reevals\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+
+  const std::string prom = reg.ToPrometheusText();
+  for (const char* name :
+       {"ctl_reevals_coalesced", "ctl_msg_rule_pushes",
+        "ctl_msg_context_syncs", "ctl_msg_heartbeat_forwards",
+        "ctl_fed_sync_keys", "ctl_fed_push_ops", "ctl_fed_local_reevals",
+        "ctl_fed_remote_reevals"}) {
+    EXPECT_NE(prom.find(std::string("# TYPE ") + name + " counter"),
+              std::string::npos)
+        << name;
+  }
+}
+
 TEST(ObsRegistryTest, StatsCompatAdapterPublishesIntoRegistry) {
   // The legacy common/stats.h counters are now views onto the registry:
   // bumping GlobalFastPath() must be visible under its registry name.

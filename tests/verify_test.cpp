@@ -529,6 +529,75 @@ TEST(Report, OrderIsDeterministicAndSeverityFirst) {
   EXPECT_EQ(report.CountAtLeast(Severity::kWarn), 2u);
 }
 
+// ---- X004: federated placement vs cross-segment predicates -----------
+
+/// "lock" (device 1, segment 0) quarantines when "cam" (device 2,
+/// segment 1) goes compromised — a cross-segment read that only works
+/// through the global delta-sync path.
+policy::FsmPolicy CrossSegmentPolicy() {
+  policy::FsmPolicy policy;
+  policy.SetDefault(core::MonitorPosture());
+  policy::PolicyRule rule;
+  rule.name = "lock-on-cam-compromise";
+  rule.when = policy::StatePredicate::Eq("ctx:cam", "compromised");
+  rule.device = 1;
+  rule.posture = core::QuarantinePosture();
+  rule.priority = 10;
+  policy.Add(rule);
+  return policy;
+}
+
+VerifyInput::FederationTopology TwoSegments(bool reader_synced,
+                                            bool owner_synced) {
+  VerifyInput::FederationTopology fed;
+  fed.segment_of = {{1, 0}, {2, 1}};
+  if (reader_synced) fed.synced_segments.insert(0);
+  if (owner_synced) fed.synced_segments.insert(1);
+  return fed;
+}
+
+TEST(Verifier, X004FlagsCrossSegmentPredicateWithoutSyncPath) {
+  const auto policy = CrossSegmentPolicy();
+  VerifyInput in;
+  in.policy = &policy;
+  in.device_names = {{1, "lock"}, {2, "cam"}};
+  // Reader segment has no global-sync path.
+  in.federation = TwoSegments(/*reader_synced=*/false, /*owner_synced=*/true);
+  const auto report = Verify(in);
+  ASSERT_TRUE(Has(report, "X004")) << report.ToText();
+  const auto& finding = report.findings()[0];
+  EXPECT_EQ(finding.severity, Severity::kError);
+  EXPECT_NE(finding.message.find("ctx:cam"), std::string::npos);
+
+  // The owner's segment being unsynced is just as broken: the delta
+  // never reaches the global tier.
+  in.federation = TwoSegments(/*reader_synced=*/true, /*owner_synced=*/false);
+  EXPECT_TRUE(Has(Verify(in), "X004"));
+}
+
+TEST(Verifier, X004CleanWhenSyncedOrColocated) {
+  const auto policy = CrossSegmentPolicy();
+  VerifyInput in;
+  in.policy = &policy;
+  in.device_names = {{1, "lock"}, {2, "cam"}};
+  // Both segments synced: the cross-segment read has a path.
+  in.federation = TwoSegments(/*reader_synced=*/true, /*owner_synced=*/true);
+  EXPECT_FALSE(Has(Verify(in), "X004")) << Verify(in).ToText();
+
+  // Same segment: the read never leaves the local controller, sync
+  // paths are irrelevant.
+  VerifyInput::FederationTopology colocated;
+  colocated.segment_of = {{1, 0}, {2, 0}};
+  in.federation = colocated;
+  EXPECT_FALSE(Has(Verify(in), "X004")) << Verify(in).ToText();
+
+  // Unplaced reader or owner: not checkable, not a finding.
+  VerifyInput::FederationTopology partial;
+  partial.segment_of = {{1, 0}};
+  in.federation = partial;
+  EXPECT_FALSE(Has(Verify(in), "X004")) << Verify(in).ToText();
+}
+
 TEST(Report, JsonIsWellFormedAndEscaped) {
   Report report;
   report.Add("G001", Severity::kError, "graph \"x\"", "bad\nline", 2, 7);
