@@ -112,10 +112,13 @@ int main() {
     if (with_reputation_history) {
       // The sybils previously voted for signatures that proved wrong;
       // honest users voted for ones that proved right.
+      // Distinct sids per round: the repo deduplicates identical rules at
+      // ingest, and history must be 12 separate signatures.
       for (int round = 0; round < 6; ++round) {
         learn::SignatureReport r;
         r.sku = "History";
-        r.rule_text = kAttackSig;
+        r.rule_text = "block udp any any -> any 5009 (msg:\"hist bad\"; sid:" +
+                      std::to_string(9300 + 2 * round) + "; iot_backdoor; )";
         const auto id = repo.Publish(r).id;
         for (int s = 0; s < 10; ++s) {
           repo.Vote(id, "sybil-" + std::to_string(s), true);
@@ -123,7 +126,8 @@ int main() {
         repo.ReportOutcome(id, /*was_correct=*/false);
         learn::SignatureReport g;
         g.sku = "History";
-        g.rule_text = kAttackSig;
+        g.rule_text = "block udp any any -> any 5009 (msg:\"hist good\"; sid:" +
+                      std::to_string(9301 + 2 * round) + "; iot_backdoor; )";
         const auto gid = repo.Publish(g).id;
         for (int u = 0; u < 6; ++u) {
           repo.Vote(gid, "honest-" + std::to_string(u), true);

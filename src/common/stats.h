@@ -113,6 +113,9 @@ struct SigCounters {
   Counter cache_expired{"sig.cache_expired"}; // found but fully released
   Counter evaluations{"sig.evaluations"};     // Evaluate calls
   Counter scan_bytes{"sig.scan_bytes"};       // payload bytes through the DFA
+  Counter matches{"sig.matches"};             // evaluations with >=1 rule hit
+                                              // (the rollout health gate's
+                                              // pre/post baseline signal)
 
   void Reset() {
     compiles.Reset();
@@ -121,6 +124,7 @@ struct SigCounters {
     cache_expired.Reset();
     evaluations.Reset();
     scan_bytes.Reset();
+    matches.Reset();
   }
 };
 

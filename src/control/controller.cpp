@@ -5,9 +5,11 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "control/federation.h"
+#include "dataplane/elements.h"
 #include "obs/obs.h"
 #include "proto/frame.h"
 #include "proto/iotctl.h"
+#include "rollout/coordinator.h"
 
 namespace iotsec::control {
 namespace {
@@ -78,6 +80,9 @@ void IoTSecController::RegisterDevice(devices::Device* device,
   md.sw = sw;
   md.port = port;
   devices_[device->id()] = md;
+  if (rollout_ != nullptr) {
+    rollout_->RegisterDevice(device->id(), device->spec().sku);
+  }
 
   sw->SetMacPort(device->spec().mac, port);
   const std::string& name = device->spec().name;
@@ -116,12 +121,21 @@ void IoTSecController::SetPolicy(policy::StateSpace space,
 
 void IoTSecController::AttachCrowdRepo(learn::CrowdRepo* repo) {
   crowd_repo_ = repo;
+  // Rollout mode: acceptances must flow through the version store (the
+  // signing authority) before any device sees them.
+  if (rollout_ != nullptr) repo->AttachVersionStore(rollout_->store());
   std::set<std::string> skus;
   for (const auto& [id, md] : devices_) skus.insert(md.device->spec().sku);
   for (const auto& sku : skus) {
-    // Pick up signatures accepted before we subscribed.
-    for (const auto& sig : repo->AcceptedFor(sku)) {
-      crowd_rules_[sku].push_back(sig.rule.ToText());
+    // Pick up signatures accepted before we subscribed. In rollout mode
+    // the version store already carries them; nudge the coordinator (a
+    // no-op when no version exists for the SKU).
+    if (rollout_ != nullptr) {
+      rollout_->OnVersionCut(sku);
+    } else {
+      for (const auto& sig : repo->AcceptedFor(sku)) {
+        crowd_rules_[sku].push_back(sig.rule.ToText());
+      }
     }
     repo->Subscribe(sku, "iotsec-controller",
                     [this, sku](const learn::SharedSignature& sig) {
@@ -129,6 +143,13 @@ void IoTSecController::AttachCrowdRepo(learn::CrowdRepo* repo) {
                       // one control latency later.
                       sim_.After(config_.control_latency,
                                  [this, sku, text = sig.rule.ToText()] {
+                                   if (rollout_ != nullptr) {
+                                     // Staged path: the acceptance already
+                                     // cut a version; canary it instead of
+                                     // blasting the whole fleet.
+                                     rollout_->OnVersionCut(sku);
+                                     return;
+                                   }
                                    crowd_rules_[sku].push_back(text);
                                    OnCrowdSignature(sku);
                                  });
@@ -136,17 +157,75 @@ void IoTSecController::AttachCrowdRepo(learn::CrowdRepo* repo) {
   }
 }
 
+void IoTSecController::SetRollout(rollout::RolloutCoordinator* rollout) {
+  rollout_ = rollout;
+  if (rollout_ == nullptr) return;
+  for (const auto& [id, md] : devices_) {
+    rollout_->RegisterDevice(id, md.device->spec().sku);
+  }
+  rollout_->SetApplier(
+      [this](DeviceId device,
+             const std::shared_ptr<const sig::CompiledRuleset>& compiled) {
+        ApplyRolloutCompile(device, compiled);
+      });
+}
+
+void IoTSecController::ApplyRolloutCompile(
+    DeviceId device,
+    const std::shared_ptr<const sig::CompiledRuleset>& compiled) {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) return;
+  ManagedDevice& md = it->second;
+  if (!md.umbox || cluster_ == nullptr) return;
+  dataplane::Umbox* box = cluster_->Find(*md.umbox);
+  if (box == nullptr || box->graph() == nullptr) return;
+  // Fast path: the chain already carries a "crowd" SignatureMatcher —
+  // adopting the shared compile is a pointer swap, no parse, no
+  // reconfigure, no packet loss. This is what makes rollback "instant".
+  if (auto* matcher = dynamic_cast<dataplane::SignatureMatcher*>(
+          box->graph()->Find("crowd"))) {
+    matcher->AdoptCompiled(compiled);
+    ++stats_.crowd_rules_applied;
+    audit_.Record(sim_.Now(), AuditCategory::kCrowd, md.device->spec().name,
+                  "rollout compile swapped into crowd matcher");
+    return;
+  }
+  // First install on this chain: splice the crowd element in via a full
+  // hot reconfigure (EffectiveConfig consults the device's receiver).
+  if (md.posture.umbox_config.empty()) return;
+  std::string error;
+  if (box->Reconfigure(EffectiveConfig(md, md.posture.umbox_config),
+                       &error)) {
+    ++stats_.crowd_rules_applied;
+    ++stats_.umbox_reconfigs;
+    audit_.Record(sim_.Now(), AuditCategory::kCrowd, md.device->spec().name,
+                  "rollout ruleset spliced via reconfigure");
+  } else {
+    IOTSEC_LOG_ERROR("rollout repatch failed for %s: %s",
+                     md.device->spec().name.c_str(), error.c_str());
+  }
+}
+
 std::string IoTSecController::EffectiveConfig(
     const ManagedDevice& md, const std::string& config) const {
-  const auto it = crowd_rules_.find(md.device->spec().sku);
-  if (it == crowd_rules_.end() || it->second.empty() || config.empty()) {
+  // Rollout mode: the device's receiver holds exactly the verified
+  // ruleset version its cohort is on (canaries ahead of the control
+  // group). Flat mode: every device of the SKU gets the same list.
+  const std::vector<std::string>* rule_texts = nullptr;
+  if (rollout_ != nullptr) {
+    rule_texts = &rollout_->RuleTextsFor(md.device->id());
+  } else {
+    const auto it = crowd_rules_.find(md.device->spec().sku);
+    if (it != crowd_rules_.end()) rule_texts = &it->second;
+  }
+  if (rule_texts == nullptr || rule_texts->empty() || config.empty()) {
     return config;
   }
   const std::string entry = FirstElementName(config);
   if (entry.empty()) return config;
   // The rule text goes inside a quoted config value, so its own quotes
   // must go; the rule parser accepts unquoted option values.
-  std::string rules = Join(it->second, "\n");
+  std::string rules = Join(*rule_texts, "\n");
   std::erase(rules, '"');
   return "crowd :: SignatureMatcher(rules=\"" + rules + "\")\n" + config +
          "crowd -> " + entry + "\n";
@@ -269,6 +348,9 @@ void IoTSecController::OnUmboxAlert(UmboxId umbox,
                   md->device->spec().name.c_str(), alert.kind.c_str(),
                   alert.detail.c_str());
   ++md->alert_count;
+  // Rollout health gate input: per-device alert attribution, already on
+  // the single-threaded post-control-latency path.
+  if (rollout_ != nullptr) rollout_->OnDeviceAlert(md->device->id());
   EscalateContext(md->device->spec().name, *md);
 }
 
@@ -632,6 +714,9 @@ void IoTSecController::HandleUmboxFailure(UmboxId umbox, const char* cause) {
   md->recovery_attempts = 0;
   md->failure_detected_at = sim_.Now();
   ++md->recovery_epoch;
+  // Rollout health gate input: a cohort device crashing during the hold
+  // window fails the canary immediately (max_cohort_crashes default 0).
+  if (rollout_ != nullptr) rollout_->OnDeviceCrash(md->device->id());
   audit_.Record(sim_.Now(), AuditCategory::kRecovery, md->device->spec().name,
                 "umbox " + std::to_string(umbox) + " " + cause + "; " +
                     (config_.fail_closed ? "fail-closed quarantine"

@@ -29,6 +29,10 @@
 #include "policy/fsm_policy.h"
 #include "sdn/switch.h"
 
+namespace iotsec::rollout {
+class RolloutCoordinator;
+}  // namespace iotsec::rollout
+
 namespace iotsec::control {
 
 class FederatedControlPlane;
@@ -104,6 +108,13 @@ class IoTSecController final : public sdn::PacketInHandler,
   /// the new rule prepended to their chains — the herd gets immunity
   /// without anyone touching policy. Call after all devices registered.
   void AttachCrowdRepo(learn::CrowdRepo* repo);
+
+  /// Switches the crowd path from flat whole-fleet fan-out to the staged
+  /// OTA pipeline: registers every managed device with the coordinator,
+  /// installs the controller as its compile applier, and routes accepted
+  /// signatures to OnVersionCut instead of the immediate repatch. Call
+  /// after all devices registered and before AttachCrowdRepo.
+  void SetRollout(rollout::RolloutCoordinator* rollout);
 
   /// Installs base forwarding + initial postures. Call after wiring.
   void Start();
@@ -258,6 +269,12 @@ class IoTSecController final : public sdn::PacketInHandler,
   [[nodiscard]] std::string EffectiveConfig(const ManagedDevice& md,
                                             const std::string& config) const;
   void OnCrowdSignature(const std::string& sku);
+  /// Rollout applier: epoch-swaps a verified compile into the device's
+  /// running "crowd" SignatureMatcher (full reconfigure when the chain
+  /// has none yet; null compile = rolled back to no crowd rules).
+  void ApplyRolloutCompile(
+      DeviceId device,
+      const std::shared_ptr<const sig::CompiledRuleset>& compiled);
   void InstallDiversion(ManagedDevice& md, UmboxId umbox);
   void RemoveDiversion(ManagedDevice& md);
   /// Fail-closed fallback: isolates the device at the switch.
@@ -313,6 +330,7 @@ class IoTSecController final : public sdn::PacketInHandler,
   AdmissionController* admission_ = nullptr;
   FederatedControlPlane* federation_ = nullptr;
   learn::CrowdRepo* crowd_repo_ = nullptr;
+  rollout::RolloutCoordinator* rollout_ = nullptr;
   /// Accepted crowd rule texts per SKU, ready to splice into chains.
   std::map<std::string, std::vector<std::string>> crowd_rules_;
   Stats stats_;

@@ -140,6 +140,17 @@ Deployment::Deployment(DeploymentOptions options)
           return admission_->AdmitIngress(sim_.Now());
         });
   }
+
+  // Ruleset OTA pipeline: the store and coordinator live on shard 0's
+  // simulator (the control-plane clock), like the controller they feed.
+  // Devices registered later forward into the coordinator automatically.
+  if (options_.with_iotsec && options_.rollout.enabled) {
+    version_store_ = std::make_unique<rollout::VersionStore>();
+    rollout_ = std::make_unique<rollout::RolloutCoordinator>(
+        sim_, version_store_.get(), options_.rollout);
+    if (admission_ != nullptr) rollout_->SetAdmission(admission_.get());
+    controller_->SetRollout(rollout_.get());
+  }
 }
 
 Deployment::~Deployment() {

@@ -32,6 +32,7 @@
 #include "fault/fault_injector.h"
 #include "learn/model_library.h"
 #include "net/packet.h"
+#include "rollout/coordinator.h"
 #include "sdn/shard_map.h"
 #include "sdn/switch.h"
 #include "sim/shard_set.h"
@@ -59,6 +60,13 @@ struct DeploymentOptions {
   /// the policy's interaction graph get local reevaluation, cross-segment
   /// state rides delta syncs, and rule pushes are batched per switch.
   control::FederationConfig federation;
+  /// Signed delta-ruleset OTA pipeline (see rollout/coordinator.h).
+  /// Disabled (default) keeps the CrowdRepo's flat whole-fleet fan-out
+  /// byte-identical to every release before the pipeline existed.
+  /// Enabled: acceptances cut signed versions in a VersionStore and a
+  /// RolloutCoordinator stages them through canary cohorts with
+  /// health-gated promotion and instant rollback.
+  rollout::RolloutConfig rollout;
   int cluster_hosts = 1;
   int host_capacity = 64;
   net::LinkConfig link;
@@ -131,6 +139,13 @@ class Deployment {
   /// created at Start(), once the device set and policy are final.
   [[nodiscard]] control::FederatedControlPlane* federation() {
     return federation_.get();
+  }
+  /// Non-null iff options().rollout.enabled (and IoTSec is on).
+  [[nodiscard]] rollout::RolloutCoordinator* rollout() {
+    return rollout_.get();
+  }
+  [[nodiscard]] rollout::VersionStore* version_store() {
+    return version_store_.get();
   }
   [[nodiscard]] const DeploymentOptions& options() const { return options_; }
   [[nodiscard]] net::Ipv4Prefix lan_prefix() const {
@@ -260,6 +275,8 @@ class Deployment {
   std::unique_ptr<control::IoTSecController> controller_;
   std::unique_ptr<control::AdmissionController> admission_;
   std::unique_ptr<control::FederatedControlPlane> federation_;
+  std::unique_ptr<rollout::VersionStore> version_store_;
+  std::unique_ptr<rollout::RolloutCoordinator> rollout_;
   SimTime next_admission_sample_ = 0;
   std::vector<std::unique_ptr<dataplane::UmboxHost>> hosts_;
   dataplane::Cluster cluster_;

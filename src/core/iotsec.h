@@ -21,4 +21,5 @@
 #include "policy/analysis.h"         // state-explosion + conflict analysis
 #include "policy/ifttt.h"            // IFTTT strawman + Table 2 corpus
 #include "policy/match_action.h"     // firewall strawman
+#include "rollout/coordinator.h"     // signed delta-ruleset OTA pipeline
 #include "sig/corpus.h"              // built-in signature corpus

@@ -142,6 +142,13 @@ class SignatureMatcher final : public Element {
   void Push(net::PacketPtr pkt, int in_port) override;
   [[nodiscard]] const sig::RuleSet& rules() const { return rules_; }
 
+  /// Rollout fast path: swaps in an already-compiled shared ruleset with
+  /// no parse/compile (pointer swap). nullptr resets to the empty set —
+  /// the rollback-to-nothing case.
+  void AdoptCompiled(std::shared_ptr<const sig::CompiledRuleset> compiled) {
+    rules_.AdoptCompiled(std::move(compiled));
+  }
+
  private:
   sig::RuleSet rules_;
 };

@@ -5,6 +5,8 @@
 
 #include "common/strings.h"
 #include "net/address.h"
+#include "obs/obs.h"
+#include "rollout/version_store.h"
 
 namespace iotsec::learn {
 namespace {
@@ -76,11 +78,29 @@ CrowdRepo::PublishResult CrowdRepo::Publish(SignatureReport report) {
     return result;
   }
 
+  // Ingest dedupe, keyed by the *parsed* rule's canonical text so
+  // whitespace/formatting variants of the same rule collapse too. A
+  // duplicate republication stores nothing, earns no contribution
+  // credit (republishing the crowd's own rule is not a contribution),
+  // and hands back the original id so the publisher can vote on it.
+  const std::uint64_t content_key = sig::CompiledRuleset::ContentHash(
+      report.sku + '\n' + rule->ToText());
+  if (const auto dup = content_index_.find(content_key);
+      dup != content_index_.end()) {
+    ++stats_.duplicates;
+    obs::M().learn_crowd_duplicates->Inc();
+    result.id = dup->second;
+    result.error = "duplicate: already published as id " +
+                   std::to_string(dup->second);
+    return result;
+  }
+
   const std::string contributor = report.contributor;
   AnonymizeReport(report);
 
   SharedSignature sig;
   sig.id = next_id_++;
+  content_index_[content_key] = sig.id;
   sig.sku = report.sku;
   sig.rule = std::move(*rule);
   sig.observables = std::move(report.observables);
@@ -161,6 +181,20 @@ void CrowdRepo::NotifyAccepted(const SharedSignature& signature) {
   // kept until the next acceptance, holding the cache entry alive through
   // the push window so every µmbox load of this ruleset is a hit.
   warm_compile_ = CompiledFor(signature.sku);
+  // OTA pipeline hook: every acceptance cuts a new signed version of the
+  // SKU's full accepted ruleset. The store derives the delta vs the
+  // previous version; the rollout coordinator (subscribed downstream)
+  // stages it through the canary cohorts.
+  if (version_store_ != nullptr) {
+    std::vector<std::string> texts;
+    for (const auto& [id, sig] : signatures_) {
+      if (sig.sku == signature.sku &&
+          sig.status == SignatureStatus::kAccepted) {
+        texts.push_back(sig.rule.ToText());
+      }
+    }
+    version_store_->Cut(signature.sku, texts);
+  }
   auto it = subscribers_.find(signature.sku);
   if (it == subscribers_.end()) return;
   // Incentive mechanism: order delivery by contribution count, highest

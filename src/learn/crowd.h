@@ -24,6 +24,10 @@
 #include "sig/compiled_ruleset.h"
 #include "sig/rule.h"
 
+namespace iotsec::rollout {
+class VersionStore;
+}  // namespace iotsec::rollout
+
 namespace iotsec::learn {
 
 struct SignatureReport {
@@ -82,8 +86,20 @@ class CrowdRepo {
     std::string error;
   };
   /// Validates, anonymizes and stores a report; the contributor's
-  /// publication count grows (driving notification priority).
+  /// publication count grows (driving notification priority). A report
+  /// whose parsed rule is byte-identical (canonical text) to one already
+  /// stored for the same SKU is deduplicated at ingest: the existing id
+  /// is returned, nothing new is stored, and no contribution accrues —
+  /// republishing the crowd's rule is not a contribution.
   PublishResult Publish(SignatureReport report);
+
+  /// Routes accepted rulesets into the OTA pipeline: every acceptance
+  /// cuts a new signed version of the SKU's full accepted ruleset in
+  /// `store` (which owns delta/snapshot manifest construction). The repo
+  /// does not own the store. nullptr detaches.
+  void AttachVersionStore(rollout::VersionStore* store) {
+    version_store_ = store;
+  }
 
   /// Weighted vote from `voter` on a pending signature. Voter reputation
   /// scales the vote; crossing the quorum flips the status and (on
@@ -114,6 +130,7 @@ class CrowdRepo {
   struct Stats {
     std::uint64_t published = 0;
     std::uint64_t rejected_at_ingest = 0;
+    std::uint64_t duplicates = 0;  // deduplicated at ingest (same SKU+rule)
     std::uint64_t accepted = 0;
     std::uint64_t rejected_by_vote = 0;
     std::uint64_t notifications = 0;
@@ -143,9 +160,12 @@ class CrowdRepo {
   std::map<std::string, std::vector<Subscriber>> subscribers_;  // by sku
   std::map<std::string, ReputationState> reputation_;
   std::map<std::string, std::uint64_t> contributions_;  // by subscriber name
+  /// Ingest dedupe index: hash of (sku, canonical rule text) -> first id.
+  std::map<std::uint64_t, std::uint64_t> content_index_;
   /// Latest accepted SKU's compile, pinned so the cache entry survives
   /// the push window (see NotifyAccepted).
   std::shared_ptr<const sig::CompiledRuleset> warm_compile_;
+  rollout::VersionStore* version_store_ = nullptr;
   std::uint64_t next_id_ = 1;
   Stats stats_;
 };

@@ -26,6 +26,11 @@ std::string_view TraceEventTypeName(TraceEventType t) {
     case TraceEventType::kAdmissionDefer: return "admission_defer";
     case TraceEventType::kFederationSync: return "federation_sync";
     case TraceEventType::kFederationPush: return "federation_push";
+    case TraceEventType::kRolloutStage: return "rollout_stage";
+    case TraceEventType::kRolloutPromote: return "rollout_promote";
+    case TraceEventType::kRolloutRollback: return "rollout_rollback";
+    case TraceEventType::kRolloutReject: return "rollout_reject";
+    case TraceEventType::kRolloutDefer: return "rollout_defer";
   }
   return "unknown";
 }

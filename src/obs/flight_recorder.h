@@ -42,6 +42,11 @@ enum class TraceEventType : std::uint16_t {
   kAdmissionDefer,    // a = device id, b = brownout level
   kFederationSync,    // a = segment, b = delta entries shipped
   kFederationPush,    // a = switch id, b = batched flow-mod ops
+  kRolloutStage,      // a = stage permille, b = target version
+  kRolloutPromote,    // a = fleet devices, b = promoted version
+  kRolloutRollback,   // a = cohort devices reverted, b = failed version
+  kRolloutReject,     // a = device id, b = rejected manifest version
+  kRolloutDefer,      // a = stage index, b = target version
 };
 
 [[nodiscard]] std::string_view TraceEventTypeName(TraceEventType t);

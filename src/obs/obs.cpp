@@ -42,6 +42,16 @@ Metrics& M() {
     out.ctl_fed_push_ops = r.GetCounter("ctl.fed.push_ops");
     out.ctl_fed_local_reevals = r.GetCounter("ctl.fed.local_reevals");
     out.ctl_fed_remote_reevals = r.GetCounter("ctl.fed.remote_reevals");
+    out.ctl_rollout_active = r.GetGauge("ctl.rollout.active");
+    out.ctl_rollout_stages = r.GetCounter("ctl.rollout.stages");
+    out.ctl_rollout_promotions = r.GetCounter("ctl.rollout.promotions");
+    out.ctl_rollout_rollbacks = r.GetCounter("ctl.rollout.rollbacks");
+    out.ctl_rollout_deferred = r.GetCounter("ctl.rollout.deferred");
+    out.ctl_rollout_applies = r.GetCounter("ctl.rollout.applies");
+    out.ctl_rollout_rejected = r.GetCounter("ctl.rollout.rejected_manifests");
+    out.ctl_rollout_push_msgs = r.GetCounter("ctl.rollout.push_msgs");
+    out.ctl_rollout_push_bytes = r.GetCounter("ctl.rollout.push_bytes");
+    out.learn_crowd_duplicates = r.GetCounter("learn.crowd.duplicates");
     return out;
   }();
   return m;

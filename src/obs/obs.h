@@ -69,6 +69,21 @@ struct Metrics {
   Counter* ctl_fed_push_ops;       // flow-mod ops emitted inside batches
   Counter* ctl_fed_local_reevals;  // segment-local reevaluations
   Counter* ctl_fed_remote_reevals; // sync/env-wakeup-driven reevaluations
+
+  // ---- control: ruleset OTA rollout (see rollout/coordinator.h).
+  Gauge* ctl_rollout_active;       // rollouts currently in flight
+  Counter* ctl_rollout_stages;     // stage applications
+  Counter* ctl_rollout_promotions; // versions promoted to the fleet
+  Counter* ctl_rollout_rollbacks;  // health-gate / operator rollbacks
+  Counter* ctl_rollout_deferred;   // stage advances held by brownout
+  Counter* ctl_rollout_applies;    // per-device manifest applies
+  Counter* ctl_rollout_rejected;   // manifests rejected at a receiver
+                                   // (tamper / out-of-chain / bad payload)
+  Counter* ctl_rollout_push_msgs;  // batched distribution messages
+  Counter* ctl_rollout_push_bytes; // manifest bytes on the channel
+
+  // ---- learn: crowd repository (see learn/crowd.h).
+  Counter* learn_crowd_duplicates; // reports deduplicated at ingest
 };
 
 /// The shared handle bundle (registered on first use).

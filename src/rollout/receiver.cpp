@@ -1,0 +1,106 @@
+#include "rollout/receiver.h"
+
+#include <unordered_set>
+
+#include "obs/obs.h"
+#include "sig/rule.h"
+
+namespace iotsec::rollout {
+
+std::string_view ApplyResultName(ApplyResult r) {
+  switch (r) {
+    case ApplyResult::kApplied: return "applied";
+    case ApplyResult::kAlreadyCurrent: return "already_current";
+    case ApplyResult::kBadSignature: return "bad_signature";
+    case ApplyResult::kChainMismatch: return "chain_mismatch";
+    case ApplyResult::kBadPayload: return "bad_payload";
+  }
+  return "?";
+}
+
+ApplyResult RulesetReceiver::Apply(const RulesetManifest& manifest,
+                                   std::uint32_t device_tag,
+                                   std::uint64_t sim_time) {
+  const auto reject = [&](ApplyResult result, std::uint64_t* counter) {
+    ++*counter;
+    obs::M().ctl_rollout_rejected->Inc();
+    obs::FlightRecorder::Global().Record(obs::TraceEventType::kRolloutReject,
+                                         sim_time, device_tag,
+                                         manifest.version);
+    return result;
+  };
+
+  if (manifest.version == 0 ||
+      (version_ != 0 && manifest.version <= version_)) {
+    ++stats_.stale;
+    return ApplyResult::kAlreadyCurrent;
+  }
+  // Trust boundary: nothing below runs on an unverified manifest.
+  if (!VerifySignature(manifest, verify_key_)) {
+    return reject(ApplyResult::kBadSignature, &stats_.rejected_signature);
+  }
+  if (!manifest.snapshot && manifest.parent_hash != content_hash_) {
+    return reject(ApplyResult::kChainMismatch, &stats_.rejected_chain);
+  }
+
+  std::vector<std::string> texts;
+  if (manifest.snapshot) {
+    texts = manifest.add;
+  } else {
+    const std::unordered_set<std::uint64_t> removed(manifest.remove.begin(),
+                                                    manifest.remove.end());
+    texts.reserve(rule_texts_.size() + manifest.add.size());
+    for (const auto& text : rule_texts_) {
+      if (removed.find(HashRuleText(text)) == removed.end()) {
+        texts.push_back(text);
+      }
+    }
+    for (const auto& text : manifest.add) texts.push_back(text);
+  }
+  if (HashRuleList(texts) != manifest.content_hash) {
+    return reject(ApplyResult::kBadPayload, &stats_.rejected_payload);
+  }
+  std::vector<sig::Rule> rules;
+  rules.reserve(texts.size());
+  for (const auto& text : texts) {
+    std::string error;
+    auto rule = sig::ParseRule(text, &error);
+    if (!rule) {
+      return reject(ApplyResult::kBadPayload, &stats_.rejected_payload);
+    }
+    rules.push_back(std::move(*rule));
+  }
+  // Verified: compile through the shared cache (one build per distinct
+  // ruleset process-wide), then swap — pinning what we replaced.
+  auto compiled = sig::CompiledRulesetCache::Instance().GetOrCompile(rules);
+
+  pinned_.version = version_;
+  pinned_.content_hash = content_hash_;
+  pinned_.rule_texts = std::move(rule_texts_);
+  pinned_.compiled = std::move(compiled_);
+  pinned_.valid = true;
+
+  version_ = manifest.version;
+  content_hash_ = manifest.content_hash;
+  rule_texts_ = std::move(texts);
+  compiled_ = std::move(compiled);
+  ++stats_.applied;
+  if (manifest.snapshot) ++stats_.snapshots;
+  obs::M().ctl_rollout_applies->Inc();
+  return ApplyResult::kApplied;
+}
+
+bool RulesetReceiver::Rollback() {
+  if (!pinned_.valid) return false;
+  version_ = pinned_.version;
+  content_hash_ = pinned_.content_hash;
+  rule_texts_ = std::move(pinned_.rule_texts);
+  compiled_ = std::move(pinned_.compiled);
+  // A pinned state is one rollback deep: rolling back again would need
+  // the version before it, which was released on the last apply.
+  pinned_ = Pinned{};
+  ++stats_.rollbacks;
+  return true;
+}
+
+}  // namespace iotsec::rollout

@@ -1,0 +1,101 @@
+// RulesetReceiver: the µmbox-side endpoint of the OTA pipeline.
+//
+// One receiver per managed device tracks which ruleset version that
+// device's µmbox runs. Apply() is the trust boundary: the keyed-hash
+// signature is verified first (a tampered manifest never touches state),
+// then the chain (a delta must apply on top of exactly the ruleset the
+// sender built it against), then the payload (the recomputed content
+// hash must equal the manifest's). Only then is the resulting ruleset
+// compiled — through the process-wide CompiledRulesetCache, so M
+// same-SKU receivers applying the same version pay one automaton build.
+//
+// The previous version's compile stays pinned: Rollback() is a pointer
+// swap back to it, never a recompile — the "instant rollback" the
+// coordinator relies on when a canary health gate fails.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rollout/manifest.h"
+#include "sig/compiled_ruleset.h"
+
+namespace iotsec::rollout {
+
+enum class ApplyResult : std::uint8_t {
+  kApplied = 0,
+  kAlreadyCurrent,  // manifest target <= installed version (replay/stale)
+  kBadSignature,    // keyed-hash verification failed (tamper / wrong key)
+  kChainMismatch,   // delta parent hash != installed content hash
+  kBadPayload,      // applied result's hash != manifest content hash, or
+                    // a rule text failed to parse
+};
+
+[[nodiscard]] std::string_view ApplyResultName(ApplyResult r);
+
+class RulesetReceiver {
+ public:
+  RulesetReceiver() = default;
+  explicit RulesetReceiver(std::uint64_t verify_key)
+      : verify_key_(verify_key) {}
+
+  /// Verifies and applies one manifest. On kApplied the previous
+  /// (version, ruleset, compile) is pinned for Rollback(); on any
+  /// rejection the installed state is untouched and the rejection is
+  /// counted (stats + ctl.rollout.rejected_manifests + flight record,
+  /// tagged with `device_tag`).
+  ApplyResult Apply(const RulesetManifest& manifest, std::uint32_t device_tag,
+                    std::uint64_t sim_time = 0);
+
+  /// Swaps back to the pinned previous version. Returns false when
+  /// nothing is pinned (fresh receiver / already rolled back).
+  bool Rollback();
+
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t content_hash() const { return content_hash_; }
+  [[nodiscard]] const std::vector<std::string>& rule_texts() const {
+    return rule_texts_;
+  }
+  /// Shared compile for the installed ruleset (nullptr before the first
+  /// apply). Pointer-identical across same-SKU receivers at the same
+  /// version — the compile-once proof tests assert on.
+  [[nodiscard]] const std::shared_ptr<const sig::CompiledRuleset>& compiled()
+      const {
+    return compiled_;
+  }
+  [[nodiscard]] std::uint64_t pinned_version() const {
+    return pinned_.version;
+  }
+
+  struct Stats {
+    std::uint64_t applied = 0;
+    std::uint64_t snapshots = 0;
+    std::uint64_t rejected_signature = 0;
+    std::uint64_t rejected_chain = 0;
+    std::uint64_t rejected_payload = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t rollbacks = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pinned {
+    std::uint64_t version = 0;
+    std::uint64_t content_hash = 0;
+    std::vector<std::string> rule_texts;
+    std::shared_ptr<const sig::CompiledRuleset> compiled;
+    bool valid = false;
+  };
+
+  std::uint64_t verify_key_ = 0x1075EC0DEull;
+  std::uint64_t version_ = 0;
+  std::uint64_t content_hash_ = 0;
+  std::vector<std::string> rule_texts_;
+  std::shared_ptr<const sig::CompiledRuleset> compiled_;
+  Pinned pinned_;
+  Stats stats_;
+};
+
+}  // namespace iotsec::rollout

@@ -1,0 +1,167 @@
+#include "rollout/version_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace iotsec::rollout {
+
+std::uint64_t VersionStore::ContentHashOf(
+    const std::vector<std::string>& rule_texts) {
+  return HashRuleList(rule_texts);
+}
+
+std::uint64_t VersionStore::Cut(const std::string& sku,
+                                std::vector<std::string> rule_texts) {
+  auto& chain = chains_[sku];
+  VersionRecord record;
+  record.version = chain.empty() ? 1 : chain.back().version + 1;
+  record.parent_hash = chain.empty() ? 0 : chain.back().content_hash;
+  record.content_hash = ContentHashOf(rule_texts);
+
+  // Delta vs the previous full list, keyed by rule content hash.
+  std::unordered_set<std::uint64_t> prev_hashes;
+  if (!chain.empty()) {
+    for (const auto& text : chain.back().rules) {
+      prev_hashes.insert(HashRuleText(text));
+    }
+  }
+  std::unordered_set<std::uint64_t> new_hashes;
+  for (const auto& text : rule_texts) {
+    const std::uint64_t h = HashRuleText(text);
+    new_hashes.insert(h);
+    if (prev_hashes.find(h) == prev_hashes.end()) {
+      record.delta_add.push_back(text);
+    }
+  }
+  if (!chain.empty()) {
+    for (const auto& text : chain.back().rules) {
+      const std::uint64_t h = HashRuleText(text);
+      if (new_hashes.find(h) == new_hashes.end()) {
+        record.delta_remove.push_back(h);
+      }
+    }
+  }
+
+  record.rules = std::move(rule_texts);
+  chain.push_back(std::move(record));
+  ++stats_.versions_cut;
+  return chain.back().version;
+}
+
+const VersionStore::VersionRecord* VersionStore::FindRecord(
+    const std::string& sku, std::uint64_t version) const {
+  const auto it = chains_.find(sku);
+  if (it == chains_.end() || version == 0 ||
+      version > it->second.size()) {
+    return nullptr;
+  }
+  // Versions are dense (1..N in cut order), so index directly.
+  return &it->second[version - 1];
+}
+
+bool VersionStore::ManifestFor(const std::string& sku, std::uint64_t have,
+                               std::uint64_t target,
+                               RulesetManifest* out) const {
+  const VersionRecord* to = FindRecord(sku, target);
+  if (to == nullptr) return false;
+  *out = RulesetManifest{};
+  out->sku = sku;
+  out->version = target;
+  out->content_hash = to->content_hash;
+
+  const VersionRecord* from =
+      have == 0 || have >= target ? nullptr : FindRecord(sku, have);
+  const bool stale =
+      from == nullptr || (target - have) > config_.staleness_horizon;
+  if (stale) {
+    out->snapshot = true;
+    out->parent_hash = from == nullptr ? 0 : from->content_hash;
+    out->add = to->rules;
+    ++stats_.snapshots_built;
+  } else {
+    // Compose the per-version deltas from have+1..target into one net
+    // add/remove pair: a rule added then removed inside the span cancels
+    // out; net adds keep the target's canonical order.
+    out->parent_hash = from->content_hash;
+    std::unordered_set<std::uint64_t> from_hashes;
+    for (const auto& text : from->rules) {
+      from_hashes.insert(HashRuleText(text));
+    }
+    std::unordered_set<std::uint64_t> to_hashes;
+    for (const auto& text : to->rules) {
+      const std::uint64_t h = HashRuleText(text);
+      to_hashes.insert(h);
+      if (from_hashes.find(h) == from_hashes.end()) {
+        out->add.push_back(text);
+      }
+    }
+    for (const auto& text : from->rules) {
+      const std::uint64_t h = HashRuleText(text);
+      if (to_hashes.find(h) == to_hashes.end()) {
+        out->remove.push_back(h);
+      }
+    }
+    ++stats_.deltas_built;
+  }
+  Sign(*out, config_.signing_key);
+  return true;
+}
+
+std::uint64_t VersionStore::Latest(const std::string& sku) const {
+  const auto it = chains_.find(sku);
+  return it == chains_.end() || it->second.empty()
+             ? 0
+             : it->second.back().version;
+}
+
+std::uint64_t VersionStore::LatestViable(const std::string& sku) const {
+  const auto it = chains_.find(sku);
+  if (it == chains_.end()) return 0;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (!rit->quarantined) return rit->version;
+  }
+  return 0;
+}
+
+void VersionStore::Quarantine(const std::string& sku,
+                              std::uint64_t version) {
+  const auto it = chains_.find(sku);
+  if (it == chains_.end() || version == 0 || version > it->second.size()) {
+    return;
+  }
+  VersionRecord& record = it->second[version - 1];
+  if (!record.quarantined) {
+    record.quarantined = true;
+    ++stats_.quarantined;
+  }
+}
+
+bool VersionStore::IsQuarantined(const std::string& sku,
+                                 std::uint64_t version) const {
+  const VersionRecord* record = FindRecord(sku, version);
+  return record != nullptr && record->quarantined;
+}
+
+std::uint64_t VersionStore::RollbackTarget(const std::string& sku,
+                                           std::uint64_t below) const {
+  const auto it = chains_.find(sku);
+  if (it == chains_.end()) return 0;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->version < below && !rit->quarantined) return rit->version;
+  }
+  return 0;
+}
+
+std::vector<std::string> VersionStore::RulesAt(const std::string& sku,
+                                               std::uint64_t version) const {
+  const VersionRecord* record = FindRecord(sku, version);
+  return record == nullptr ? std::vector<std::string>{} : record->rules;
+}
+
+std::uint64_t VersionStore::HashAt(const std::string& sku,
+                                   std::uint64_t version) const {
+  const VersionRecord* record = FindRecord(sku, version);
+  return record == nullptr ? 0 : record->content_hash;
+}
+
+}  // namespace iotsec::rollout

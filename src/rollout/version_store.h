@@ -1,0 +1,110 @@
+// VersionStore: the repository side of the ruleset OTA pipeline.
+//
+// Holds every SKU's versioned ruleset history — the signing authority the
+// CrowdRepo cuts new versions into on each acceptance — and builds the
+// signed manifest a receiver at any version needs to reach the target:
+// a composed delta when the receiver is close enough, a full snapshot
+// past the staleness horizon (composing arbitrarily old deltas would ship
+// more bytes than the ruleset itself, and a receiver offline for weeks
+// should not replay weeks of history).
+//
+// Quarantine is the rollback pipeline's memory: a version that failed a
+// canary health gate is frozen and never offered as a delta target again,
+// so a crashed-and-rejoined µmbox cannot be upgraded onto a known-bad
+// ruleset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rollout/manifest.h"
+
+namespace iotsec::rollout {
+
+class VersionStore {
+ public:
+  struct Config {
+    /// Keyed-hash signing key shared with every receiver. A deployment
+    /// would provision per-fleet keys; the property exercised is that
+    /// verification gates every apply.
+    std::uint64_t signing_key = 0x1075EC0DEull;
+    /// Receivers more than this many versions behind get a snapshot
+    /// instead of a composed delta.
+    std::uint64_t staleness_horizon = 8;
+  };
+
+  VersionStore() : VersionStore(Config{}) {}
+  explicit VersionStore(Config config) : config_(config) {}
+
+  /// Appends a new version for `sku` whose full ruleset is `rule_texts`
+  /// (canonical rule lines, order preserved). Computes the delta against
+  /// the previous version and the chained content hash. Returns the new
+  /// version number.
+  std::uint64_t Cut(const std::string& sku,
+                    std::vector<std::string> rule_texts);
+
+  /// Builds the signed manifest that moves a receiver at `have` (0 =
+  /// nothing installed) to `target`. Snapshot when `have` is unknown,
+  /// quarantined or more than staleness_horizon behind. Returns false if
+  /// `target` does not exist for the SKU.
+  [[nodiscard]] bool ManifestFor(const std::string& sku, std::uint64_t have,
+                                 std::uint64_t target,
+                                 RulesetManifest* out) const;
+
+  /// Latest cut version for the SKU (0 = none).
+  [[nodiscard]] std::uint64_t Latest(const std::string& sku) const;
+  /// Latest non-quarantined version (0 = none viable).
+  [[nodiscard]] std::uint64_t LatestViable(const std::string& sku) const;
+
+  /// Freezes a version that failed its health gate; it is never offered
+  /// as a target again.
+  void Quarantine(const std::string& sku, std::uint64_t version);
+  [[nodiscard]] bool IsQuarantined(const std::string& sku,
+                                   std::uint64_t version) const;
+
+  /// Highest non-quarantined version strictly below `below` (0 = none) —
+  /// where a rollback lands.
+  [[nodiscard]] std::uint64_t RollbackTarget(const std::string& sku,
+                                             std::uint64_t below) const;
+
+  /// Full canonical rule texts at a version (empty for unknown/0).
+  [[nodiscard]] std::vector<std::string> RulesAt(const std::string& sku,
+                                                 std::uint64_t version) const;
+  /// Content hash at a version (0 for version 0 / unknown).
+  [[nodiscard]] std::uint64_t HashAt(const std::string& sku,
+                                     std::uint64_t version) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t versions_cut = 0;
+    std::uint64_t snapshots_built = 0;
+    std::uint64_t deltas_built = 0;
+    std::uint64_t quarantined = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct VersionRecord {
+    std::uint64_t version = 0;
+    std::uint64_t content_hash = 0;
+    std::uint64_t parent_hash = 0;
+    std::vector<std::string> rules;      // full canonical list
+    std::vector<std::string> delta_add;  // vs previous version
+    std::vector<std::uint64_t> delta_remove;
+    bool quarantined = false;
+  };
+
+  [[nodiscard]] static std::uint64_t ContentHashOf(
+      const std::vector<std::string>& rule_texts);
+  [[nodiscard]] const VersionRecord* FindRecord(const std::string& sku,
+                                                std::uint64_t version) const;
+
+  Config config_;
+  std::map<std::string, std::vector<VersionRecord>> chains_;  // by sku
+  mutable Stats stats_;
+};
+
+}  // namespace iotsec::rollout

@@ -108,6 +108,7 @@ RuleVerdict CompiledRuleset::Evaluate(const proto::ParsedFrame& frame,
   } else {
     verdict.action = RuleAction::kAlert;
   }
+  if (verdict.Matched()) GlobalSig().matches.Inc();
   return verdict;
 }
 

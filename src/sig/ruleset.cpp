@@ -59,6 +59,17 @@ void RuleSet::EnsureCompiled() {
   dirty_ = false;
 }
 
+void RuleSet::AdoptCompiled(
+    std::shared_ptr<const CompiledRuleset> compiled) {
+  if (compiled == nullptr) {
+    Reset({});
+    return;
+  }
+  rules_ = compiled->rules();
+  compiled_ = std::move(compiled);
+  dirty_ = false;
+}
+
 RuleVerdict RuleSet::Evaluate(const proto::ParsedFrame& frame) {
   EnsureCompiled();
   return compiled_->Evaluate(frame, scratch_);

@@ -48,6 +48,11 @@ class RuleSet {
   /// point.
   void EnsureCompiled();
 
+  /// Epoch swap: adopts an already-built shared compile (rules included)
+  /// with no parse and no compile — the rollout pipeline's instant
+  /// apply/rollback path. nullptr resets to the empty ruleset.
+  void AdoptCompiled(std::shared_ptr<const CompiledRuleset> compiled);
+
   /// Evaluates every rule against a parsed frame. Allocation-free beyond
   /// the verdict's matched-sid list (empty in the common no-match case).
   [[nodiscard]] RuleVerdict Evaluate(const proto::ParsedFrame& frame);

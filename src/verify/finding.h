@@ -45,6 +45,11 @@
 //     R002 error  duplicate sid
 //     R003 warn   folded content patterns duplicate another rule
 //     R004 error  rule text does not parse
+//     R005 error  rollout plan unsafe: plan does not parse, rollback
+//                 target missing/unknown/unsigned (a failed canary would
+//                 have nowhere safe to land), or stage ladder malformed
+//          warn   0‰ first stage (nothing canaries) or straight-to-fleet
+//                 ladder with no stage below 1000‰
 //
 //   X0xx — cross-layer (attack-path coverage)
 //     X001 error  multi-stage attack path with no hop guarded by a

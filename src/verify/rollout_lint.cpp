@@ -1,0 +1,99 @@
+#include "verify/rollout_lint.h"
+
+#include "rollout/manifest.h"
+
+namespace iotsec::verify {
+
+std::size_t LintRolloutPlan(const std::string& plan_text,
+                            const std::string& origin, Report& report) {
+  std::size_t added = 0;
+  const auto add = [&](Severity severity, const std::string& message) {
+    report.Add("R005", severity, origin, message);
+    ++added;
+  };
+
+  rollout::RolloutPlan plan;
+  std::string error;
+  if (!rollout::ParseRolloutPlan(plan_text, &plan, &error)) {
+    add(Severity::kError, "plan does not parse: " + error);
+    return added;
+  }
+
+  // Target must be a version the plan knows about, and signed — the
+  // store refuses to serve what it cannot sign, so an unsigned target
+  // would dead-end the rollout at the first receiver.
+  bool target_signed = false;
+  if (plan.target == 0) {
+    add(Severity::kError, "no target version declared");
+  } else if (!plan.KnowsVersion(plan.target, &target_signed)) {
+    add(Severity::kError,
+        "target version " + std::to_string(plan.target) +
+            " not in the plan's version list");
+  } else if (!target_signed) {
+    add(Severity::kError,
+        "target version " + std::to_string(plan.target) + " is unsigned");
+  }
+
+  // The rollback target is the safety net: a failed canary health gate
+  // epoch-swaps the cohort onto it. Missing/unknown/unsigned means a
+  // failed rollout has nowhere safe to land.
+  bool rollback_signed = false;
+  if (!plan.has_rollback) {
+    add(Severity::kError,
+        "no rollback target declared — a failed canary gate would have "
+        "nowhere safe to land");
+  } else if (plan.rollback != 0 &&
+             !plan.KnowsVersion(plan.rollback, &rollback_signed)) {
+    add(Severity::kError,
+        "rollback target " + std::to_string(plan.rollback) +
+            " not in the plan's version list");
+  } else if (plan.rollback != 0 && !rollback_signed) {
+    add(Severity::kError,
+        "rollback target " + std::to_string(plan.rollback) +
+            " is unsigned — receivers would reject the rollback manifest");
+  } else if (plan.has_rollback && plan.rollback >= plan.target &&
+             plan.target != 0) {
+    add(Severity::kError,
+        "rollback target " + std::to_string(plan.rollback) +
+            " is not below the target version " +
+            std::to_string(plan.target));
+  }
+
+  // Stage ladder sanity.
+  if (plan.stages.empty()) {
+    add(Severity::kError, "no stages declared");
+  } else {
+    bool has_canary = false;
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < plan.stages.size(); ++i) {
+      const std::uint32_t permille = plan.stages[i].permille;
+      if (permille > 1000) {
+        add(Severity::kError,
+            "stage " + std::to_string(i + 1) + " permille " +
+                std::to_string(permille) + " exceeds 1000");
+      }
+      if (i > 0 && permille <= prev) {
+        add(Severity::kError,
+            "stage ladder must strictly widen (stage " +
+                std::to_string(i + 1) + " is " + std::to_string(permille) +
+                "\xE2\x80\xB0 after " + std::to_string(prev) + "\xE2\x80\xB0)");
+      }
+      if (permille > 0 && permille < 1000) has_canary = true;
+      prev = permille;
+    }
+    if (plan.stages.front().permille == 0) {
+      add(Severity::kWarn,
+          "first stage is 0\xE2\x80\xB0 — nothing actually canaries during "
+          "the first hold");
+    }
+    if (!has_canary) {
+      add(Severity::kWarn,
+          "no stage below 1000\xE2\x80\xB0 — the version goes straight to "
+          "the whole fleet with no canary soak");
+    }
+  }
+
+  return added;
+}
+
+}  // namespace iotsec::verify

@@ -1,0 +1,24 @@
+// Rollout-plan linting (R005): the OTA pipeline's pre-flight check.
+#pragma once
+
+#include <string>
+
+#include "verify/report.h"
+
+namespace iotsec::verify {
+
+/// Parses `plan_text` (rollout plan format, see rollout/manifest.h) and
+/// reports under code R005:
+///   error  plan does not parse
+///   error  no rollback target declared, rollback target not in the
+///          plan's version list, or rollback target unsigned — a failed
+///          canary would have nowhere safe to land
+///   error  target version unknown/unsigned, stage permille out of range,
+///          or stage ladder not strictly widening
+///   warn   first stage is 0‰ (nothing actually canaries)
+///   warn   no stage below 1000‰ (straight-to-fleet, no canary soak)
+/// `origin` labels the findings. Returns the number of findings added.
+std::size_t LintRolloutPlan(const std::string& plan_text,
+                            const std::string& origin, Report& report);
+
+}  // namespace iotsec::verify

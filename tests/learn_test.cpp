@@ -8,6 +8,7 @@
 #include "learn/attack_graph.h"
 #include "learn/crowd.h"
 #include "learn/fuzzer.h"
+#include "obs/obs.h"
 
 namespace iotsec::learn {
 namespace {
@@ -92,13 +93,20 @@ TEST(CrowdRepoTest, DoubleVoteIgnored) {
   EXPECT_FALSE(repo.Vote(99999, "v1", true));
 }
 
+/// kValidRule with a distinct sid — the repo deduplicates identical
+/// rules at ingest, so reputation-building needs distinct signatures.
+std::string RuleWithSid(int sid) {
+  return "block udp any any -> any 5009 (msg:\"wemo backdoor\"; sid:" +
+         std::to_string(sid) + "; iot_backdoor; )";
+}
+
 TEST(CrowdRepoTest, ReputationWeightsVotes) {
   CrowdRepo repo;
   // Build reputation: "expert" votes correctly on several signatures.
   for (int i = 0; i < 5; ++i) {
     SignatureReport r;
     r.sku = "SKU";
-    r.rule_text = kValidRule;
+    r.rule_text = RuleWithSid(100 + i);
     const auto res = repo.Publish(r);
     repo.Vote(res.id, "expert", true);
     repo.ReportOutcome(res.id, /*was_correct=*/true);
@@ -110,7 +118,7 @@ TEST(CrowdRepoTest, ReputationWeightsVotes) {
   for (int i = 0; i < 5; ++i) {
     SignatureReport r;
     r.sku = "SKU";
-    r.rule_text = kValidRule;
+    r.rule_text = RuleWithSid(200 + i);
     const auto res = repo.Publish(r);
     repo.Vote(res.id, "troll", true);
     repo.ReportOutcome(res.id, /*was_correct=*/false);
@@ -121,12 +129,109 @@ TEST(CrowdRepoTest, ReputationWeightsVotes) {
   // together muster < 0.6: poisoning cannot reach quorum alone.
   SignatureReport target;
   target.sku = "SKU";
-  target.rule_text = kValidRule;
+  target.rule_text = RuleWithSid(300);
   const auto res = repo.Publish(target);
   repo.Vote(res.id, "troll", true);
   const auto* sig = repo.Find(res.id);
   EXPECT_EQ(sig->status, SignatureStatus::kPending);
   EXPECT_LT(sig->up_weight, 0.3);
+}
+
+TEST(CrowdRepoTest, DeduplicatesRepublishedRules) {
+  CrowdRepo repo;
+  const auto dupes_before = obs::M().learn_crowd_duplicates->Value();
+
+  SignatureReport first;
+  first.sku = "Wemo-Insight";
+  first.rule_text = kValidRule;
+  first.contributor = "alice";
+  const auto original = repo.Publish(first);
+  ASSERT_TRUE(original.accepted_for_review) << original.error;
+
+  // Same SKU + same rule (even reformatted — dedupe keys on the parsed
+  // canonical text) folds into the original id with no new review entry.
+  SignatureReport again;
+  again.sku = "Wemo-Insight";
+  again.rule_text = "block   udp any any ->   any 5009 "
+                    "(msg:\"wemo backdoor\"; sid:9001; iot_backdoor; )";
+  again.contributor = "bob";
+  const auto dup = repo.Publish(again);
+  EXPECT_FALSE(dup.accepted_for_review);
+  EXPECT_EQ(dup.id, original.id);
+  EXPECT_NE(dup.error.find("duplicate"), std::string::npos);
+  EXPECT_EQ(repo.stats().published, 1u);
+  EXPECT_EQ(repo.stats().duplicates, 1u);
+  EXPECT_EQ(obs::M().learn_crowd_duplicates->Value(), dupes_before + 1);
+
+  // The same rule for a DIFFERENT SKU is not a duplicate.
+  SignatureReport other_sku;
+  other_sku.sku = "Hue-Bridge";
+  other_sku.rule_text = kValidRule;
+  EXPECT_TRUE(repo.Publish(other_sku).accepted_for_review);
+  EXPECT_EQ(repo.stats().duplicates, 1u);
+}
+
+TEST(CrowdRepoTest, VoteOnResolvedSignatureIgnored) {
+  CrowdRepo repo;
+  SignatureReport report;
+  report.sku = "X";
+  report.rule_text = kValidRule;
+  const auto result = repo.Publish(report);
+  for (const auto* voter : {"v1", "v2", "v3", "v4", "v5", "v6"}) {
+    repo.Vote(result.id, voter, true);
+  }
+  ASSERT_EQ(repo.Find(result.id)->status, SignatureStatus::kAccepted);
+  // Votes after resolution no longer move the (settled) signature.
+  EXPECT_FALSE(repo.Vote(result.id, "latecomer", false));
+  EXPECT_EQ(repo.Find(result.id)->status, SignatureStatus::kAccepted);
+}
+
+TEST(CrowdRepoTest, ReportOutcomeUnknownIdIsNoop) {
+  CrowdRepo repo;
+  SignatureReport report;
+  report.sku = "X";
+  report.rule_text = kValidRule;
+  const auto result = repo.Publish(report);
+  repo.Vote(result.id, "v1", true);
+  const double before = repo.Reputation("v1");
+  repo.ReportOutcome(424242, /*was_correct=*/false);  // no such signature
+  EXPECT_DOUBLE_EQ(repo.Reputation("v1"), before);
+}
+
+TEST(CrowdRepoTest, ReputationStaysBounded) {
+  CrowdRepo repo;
+  // Long winning and losing streaks must keep the Beta mean strictly
+  // inside (0, 1) — the prior never fully washes out.
+  for (int i = 0; i < 200; ++i) {
+    SignatureReport r;
+    r.sku = "SKU";
+    r.rule_text = RuleWithSid(1000 + i);
+    const auto res = repo.Publish(r);
+    repo.Vote(res.id, "saint", true);
+    repo.Vote(res.id, "gremlin", true);
+    repo.ReportOutcome(res.id, /*was_correct=*/(i % 2 == 0));
+  }
+  // Alternating outcomes: both hover near 0.5 but stay bounded.
+  EXPECT_GT(repo.Reputation("saint"), 0.0);
+  EXPECT_LT(repo.Reputation("saint"), 1.0);
+  for (int i = 0; i < 200; ++i) {
+    SignatureReport r;
+    r.sku = "SKU";
+    r.rule_text = RuleWithSid(2000 + i);
+    const auto res = repo.Publish(r);
+    repo.Vote(res.id, "oracle", true);
+    repo.ReportOutcome(res.id, /*was_correct=*/true);
+    SignatureReport w;
+    w.sku = "SKU";
+    w.rule_text = RuleWithSid(3000 + i);
+    const auto wres = repo.Publish(w);
+    repo.Vote(wres.id, "jinx", true);
+    repo.ReportOutcome(wres.id, /*was_correct=*/false);
+  }
+  EXPECT_GT(repo.Reputation("oracle"), 0.9);
+  EXPECT_LT(repo.Reputation("oracle"), 1.0);
+  EXPECT_GT(repo.Reputation("jinx"), 0.0);
+  EXPECT_LT(repo.Reputation("jinx"), 0.1);
 }
 
 TEST(ModelLibraryTest, BuiltinCoversEveryDeviceClass) {

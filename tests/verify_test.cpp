@@ -16,6 +16,7 @@
 #include "verify/coverage.h"
 #include "verify/graph_lint.h"
 #include "verify/policy_check.h"
+#include "verify/rollout_lint.h"
 #include "verify/rules_lint.h"
 #include "verify/verifier.h"
 
@@ -88,6 +89,115 @@ TEST(RulesLint, ReportsParseErrorsWithLinePosition) {
   ASSERT_EQ(report.findings().size(), 1u);
   EXPECT_EQ(report.findings()[0].code, "R004");
   EXPECT_EQ(report.findings()[0].line, 1);
+}
+
+// ---- rollout plan lint (R005) ----------------------------------------
+
+Report LintPlan(const std::string& plan) {
+  Report report;
+  LintRolloutPlan(plan, "plan test", report);
+  report.Finalize();
+  return report;
+}
+
+constexpr char kCleanPlan[] =
+    "sku Wemo-Insight\n"
+    "target 5\n"
+    "rollback 4\n"
+    "stage 50 hold 2s\n"
+    "stage 1000 hold 5s\n"
+    "version 4 signed\n"
+    "version 5 signed\n";
+
+TEST(RolloutPlanLint, CleanPlanHasNoFindings) {
+  EXPECT_TRUE(LintPlan(kCleanPlan).findings().empty());
+}
+
+TEST(RolloutPlanLint, UnparseablePlanIsAnError) {
+  const auto report = LintPlan("sku S\nfrobnicate 7\n");
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "R005");
+  EXPECT_EQ(report.findings()[0].severity, Severity::kError);
+}
+
+TEST(RolloutPlanLint, MissingRollbackTargetIsAnError) {
+  const auto report = LintPlan(
+      "sku S\ntarget 2\nstage 50 hold 1s\nstage 1000 hold 1s\n"
+      "version 2 signed\n");
+  ASSERT_TRUE(Has(report, "R005"));
+  EXPECT_NE(report.findings()[0].message.find("rollback"),
+            std::string::npos);
+  EXPECT_EQ(report.findings()[0].severity, Severity::kError);
+}
+
+TEST(RolloutPlanLint, UnsignedTargetsAreErrors) {
+  const auto report = LintPlan(
+      "sku S\ntarget 2\nrollback 1\nstage 50 hold 1s\nstage 1000 hold 1s\n"
+      "version 1 unsigned\nversion 2 unsigned\n");
+  int errors = 0;
+  for (const auto& f : report.findings()) {
+    EXPECT_EQ(f.code, "R005");
+    if (f.severity == Severity::kError) ++errors;
+  }
+  EXPECT_EQ(errors, 2) << "both the target and the rollback are unsigned";
+}
+
+TEST(RolloutPlanLint, RollbackNotBelowTargetIsAnError) {
+  const auto report = LintPlan(
+      "sku S\ntarget 2\nrollback 2\nstage 50 hold 1s\nstage 1000 hold 1s\n"
+      "version 2 signed\n");
+  ASSERT_TRUE(Has(report, "R005"));
+  EXPECT_NE(report.findings()[0].message.find("not below"),
+            std::string::npos);
+}
+
+TEST(RolloutPlanLint, StraightToFleetIsAWarning) {
+  const auto report = LintPlan(
+      "sku S\ntarget 2\nrollback 1\nstage 1000 hold 1s\n"
+      "version 1 signed\nversion 2 signed\n");
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "R005");
+  EXPECT_EQ(report.findings()[0].severity, Severity::kWarn);
+  EXPECT_NE(report.findings()[0].message.find("straight to the whole fleet"),
+            std::string::npos);
+}
+
+TEST(RolloutPlanLint, ZeroPermilleFirstStageIsAWarning) {
+  const auto report = LintPlan(
+      "sku S\ntarget 2\nrollback 1\nstage 0 hold 1s\nstage 50 hold 1s\n"
+      "stage 1000 hold 1s\nversion 1 signed\nversion 2 signed\n");
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].severity, Severity::kWarn);
+}
+
+TEST(RolloutPlanLint, NonWideningLadderIsAnError) {
+  const auto report = LintPlan(
+      "sku S\ntarget 2\nrollback 1\nstage 250 hold 1s\nstage 100 hold 1s\n"
+      "stage 1000 hold 1s\nversion 1 signed\nversion 2 signed\n");
+  ASSERT_TRUE(Has(report, "R005"));
+  EXPECT_EQ(report.findings()[0].severity, Severity::kError);
+  EXPECT_NE(report.findings()[0].message.find("strictly widen"),
+            std::string::npos);
+}
+
+TEST(RolloutPlanLint, ShippedFixturesMatchTheCiContract) {
+  // examples/lint/clean_rollout.plan must stay clean and the seeded
+  // defect fixture must keep tripping the gate (same contract CI runs).
+  const auto clean = LintPlan(
+      "sku Wemo-Insight\ntarget 5\nrollback 4\n"
+      "stage 50 hold 2s\nstage 250 hold 2s\nstage 1000 hold 5s\n"
+      "version 4 signed\nversion 5 signed\n");
+  EXPECT_TRUE(clean.findings().empty());
+  const auto defect = LintPlan(
+      "sku Wemo-Insight\ntarget 5\nstage 1000 hold 2s\n"
+      "version 5 unsigned\n");
+  int errors = 0;
+  int warns = 0;
+  for (const auto& f : defect.findings()) {
+    (f.severity == Severity::kError ? errors : warns) += 1;
+  }
+  EXPECT_GE(errors, 2) << "missing rollback + unsigned target";
+  EXPECT_GE(warns, 1) << "straight-to-fleet stage ladder";
 }
 
 // ---- µmbox graph lint ------------------------------------------------

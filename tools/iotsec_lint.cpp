@@ -12,6 +12,7 @@
 //
 // Usage:
 //   iotsec_lint [--graph FILE]... [--rules FILE]... [--policy FILE]...
+//               [--rollout-plan FILE]...
 //               [--scenario smart_home|quickstart|fixture_uncovered|all]
 //               [--json FILE] [--format text|json] [--werror]
 //
@@ -32,6 +33,7 @@
 #include "learn/attack_graph.h"
 #include "policy/dsl.h"
 #include "verify/graph_lint.h"
+#include "verify/rollout_lint.h"
 #include "verify/rules_lint.h"
 #include "verify/verifier.h"
 
@@ -267,7 +269,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: iotsec_lint [--graph FILE]... [--rules FILE]...\n"
-      "                   [--policy FILE]...\n"
+      "                   [--policy FILE]... [--rollout-plan FILE]...\n"
       "                   [--scenario smart_home|quickstart|"
       "fixture_uncovered|all]\n"
       "                   [--json FILE] [--format text|json] [--werror]\n");
@@ -288,7 +290,7 @@ int main(int argc, char** argv) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--graph" || arg == "--rules" || arg == "--policy" ||
-        arg == "--scenario") {
+        arg == "--rollout-plan" || arg == "--scenario") {
       const char* v = value();
       if (!v) return Usage();
       inputs.emplace_back(arg.substr(2), v);
@@ -327,6 +329,13 @@ int main(int argc, char** argv) {
       verify::LintRulesText(text, "rules " + value, report);
     } else if (kind == "policy") {
       if (!VerifyPolicyFile(value, report)) return 2;
+    } else if (kind == "rollout-plan") {
+      std::string text;
+      if (!ReadFile(value, text)) {
+        std::fprintf(stderr, "iotsec_lint: cannot read %s\n", value.c_str());
+        return 2;
+      }
+      verify::LintRolloutPlan(text, "rollout plan " + value, report);
     } else if (kind == "scenario") {
       if (value == "all") {
         if (!RunScenario("smart_home", report)) return 2;
