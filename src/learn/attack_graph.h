@@ -49,6 +49,11 @@ class AttackGraph {
   [[nodiscard]] const std::vector<Exploit>& exploits() const {
     return exploits_;
   }
+  /// The facts the attacker starts with ("net_access", ...) — the model
+  /// checker's initial fact set.
+  [[nodiscard]] const std::set<std::string>& initial_facts() const {
+    return initial_facts_;
+  }
 
   /// All facts reachable by forward chaining from the initial facts.
   [[nodiscard]] std::set<std::string> ReachableFacts() const;

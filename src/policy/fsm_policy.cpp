@@ -141,4 +141,12 @@ std::set<std::string> FsmPolicy::RelevantDims(DeviceId device) const {
   return dims;
 }
 
+std::set<std::string> FsmPolicy::ReadDims() const {
+  std::set<std::string> dims;
+  for (const auto& rule : rules_) {
+    for (const auto& [dim, _] : rule.when.constraints) dims.insert(dim);
+  }
+  return dims;
+}
+
 }  // namespace iotsec::policy

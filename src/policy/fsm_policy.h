@@ -106,6 +106,12 @@ class FsmPolicy {
   /// used by pruning.
   [[nodiscard]] std::set<std::string> RelevantDims(DeviceId device) const;
 
+  /// Every dimension any rule's predicate constrains, across all devices.
+  /// This is the model checker's transition frontier: only these
+  /// dimensions can flip a policy decision, so only they need free
+  /// exploration (everything else is posture-invariant).
+  [[nodiscard]] std::set<std::string> ReadDims() const;
+
  private:
   std::vector<PolicyRule> rules_;
   Posture default_posture_;

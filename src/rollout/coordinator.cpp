@@ -17,6 +17,7 @@ constexpr std::uint64_t kEvGate = 3;
 constexpr std::uint64_t kEvPromote = 4;
 constexpr std::uint64_t kEvRollback = 5;
 constexpr std::uint64_t kEvDefer = 6;
+constexpr std::uint64_t kEvVerify = 7;
 
 std::uint64_t Mix64(std::uint64_t h) {
   h ^= h >> 33;
@@ -66,7 +67,37 @@ void RolloutCoordinator::OnVersionCut(const std::string& sku) {
 }
 
 void RolloutCoordinator::Begin(const std::string& sku, SkuRollout& r) {
-  const std::uint64_t target = store_->LatestViable(sku);
+  std::uint64_t target = store_->LatestViable(sku);
+  // Pre-canary differential verification: before any device sees the
+  // candidate, diff its enforcement against the fleet's stable version.
+  // A blocked candidate is quarantined (it would weaken the deployment
+  // on every device it reaches) and the next viable version is tried —
+  // the same never-offer-again memory a failed health gate leaves.
+  while (verifier_ && config_.verify_gate != VerifyGateMode::kOff &&
+         target != 0 && target > r.stable) {
+    std::string detail;
+    ++stats_.verify_checks;
+    const bool ok = verifier_(sku, r.stable, target, &detail);
+    Fold(kEvVerify, HashRuleText(sku), target, ok ? 1 : 0);
+    if (ok) break;
+    if (config_.verify_gate == VerifyGateMode::kWarn) {
+      ++stats_.verify_warns;
+      IOTSEC_LOG_WARN(
+          "rollout: %s v%llu fails pre-canary verification (%s) — staging "
+          "anyway (warn mode)",
+          sku.c_str(), static_cast<unsigned long long>(target),
+          detail.c_str());
+      break;
+    }
+    ++stats_.verify_blocks;
+    IOTSEC_LOG_WARN(
+        "rollout: %s v%llu BLOCKED by pre-canary verification (%s) — "
+        "quarantined",
+        sku.c_str(), static_cast<unsigned long long>(target),
+        detail.c_str());
+    store_->Quarantine(sku, target);
+    target = store_->LatestViable(sku);
+  }
   if (target == 0 || target <= r.stable) return;
   r.target = target;
   r.stage = 0;

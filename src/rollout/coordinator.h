@@ -42,6 +42,22 @@ class AdmissionController;
 
 namespace iotsec::rollout {
 
+/// What the pre-canary differential-verification gate does with a
+/// candidate version the verifier rejects (see verify/diff_verify.h).
+enum class VerifyGateMode : std::uint8_t {
+  kOff,   // no verification (no verifier installed behaves the same)
+  kWarn,  // log + count the regression, stage anyway
+  kBlock, // quarantine the candidate and fall back to the next viable one
+};
+
+/// Pre-canary verification hook: called with (sku, stable base version,
+/// candidate target version) before the candidate starts staging. False
+/// means the candidate regresses enforcement relative to the base;
+/// *detail (never null) carries the findings text for the log.
+using PreRolloutVerifier = std::function<bool(
+    const std::string& sku, std::uint64_t base_version,
+    std::uint64_t target_version, std::string* detail)>;
+
 struct RolloutConfig {
   /// Master switch (DeploymentOptions::rollout.enabled). Off: CrowdRepo's
   /// flat whole-ruleset fan-out path is byte-identical to every release
@@ -68,6 +84,10 @@ struct RolloutConfig {
   std::uint32_t max_cohort_crashes = 0;
   std::uint32_t quiet_alert_allowance = 1;
   std::uint32_t alert_ratio_limit_permille = 3000;  // 3x control group
+
+  /// Pre-canary diff-verify gate mode. Takes effect only when a verifier
+  /// is installed via SetVerifier.
+  VerifyGateMode verify_gate = VerifyGateMode::kOff;
 };
 
 class RolloutCoordinator {
@@ -88,6 +108,15 @@ class RolloutCoordinator {
   using Applier = std::function<void(
       DeviceId, const std::shared_ptr<const sig::CompiledRuleset>&)>;
   void SetApplier(Applier applier) { applier_ = std::move(applier); }
+
+  /// Installs the pre-canary differential verifier (typically
+  /// verify::MakePreRolloutVerifier). With config.verify_gate at kBlock,
+  /// a candidate the verifier rejects is quarantined before any device
+  /// sees it and the next viable version is tried; at kWarn it stages
+  /// with a logged warning.
+  void SetVerifier(PreRolloutVerifier verifier) {
+    verifier_ = std::move(verifier);
+  }
 
   /// Registers a managed device (idempotent). Devices register before
   /// rollouts start; late registrants join at the next version.
@@ -140,6 +169,10 @@ class RolloutCoordinator {
     std::uint64_t deferred = 0;
     std::uint64_t devices_applied = 0;   // device-version installs
     std::uint64_t devices_rolled_back = 0;
+    /// Pre-canary verification gate outcomes.
+    std::uint64_t verify_checks = 0;
+    std::uint64_t verify_blocks = 0;  // candidates quarantined (kBlock)
+    std::uint64_t verify_warns = 0;   // regressions staged anyway (kWarn)
     std::uint64_t push_msgs = 0;
     std::uint64_t push_bytes = 0;
     /// Gate inputs from the most recent evaluation (bench introspection).
@@ -199,6 +232,7 @@ class RolloutCoordinator {
   RolloutConfig config_;
   control::AdmissionController* admission_ = nullptr;
   Applier applier_;
+  PreRolloutVerifier verifier_;
   std::map<DeviceId, DeviceState> devices_;
   std::map<std::string, SkuRollout> rollouts_;  // by sku
   std::map<DeviceId, std::uint64_t> alerts_;    // lifetime per-device

@@ -124,19 +124,27 @@ bool ParseRolloutPlan(const std::string& text, RolloutPlan* plan,
         plan->has_rollback = true;
       }
     } else if (key == "stage") {
-      // stage <permille> [hold <duration>]
-      if (tokens.size() != 2 && tokens.size() != 4) {
-        return fail("expected: stage <permille> [hold <duration>]");
-      }
+      // stage [<name>] <permille> [hold <duration>] — a non-numeric token
+      // after "stage" is the stage's name. Range checks live in the R005
+      // lint, not here.
       RolloutPlanStage stage;
+      std::size_t next = 1;
       std::uint64_t permille = 0;
-      if (!ParseUint(tokens[1], permille) || permille > 1000) {
-        return fail("stage permille must be 0..1000");
+      if (tokens.size() >= 3 && !ParseUint(tokens[1], permille)) {
+        stage.name = tokens[1];
+        next = 2;
+      }
+      if (next >= tokens.size() || !ParseUint(tokens[next], permille) ||
+          permille > 0xFFFFFFFFull) {
+        return fail("expected: stage [<name>] <permille> [hold <duration>]");
       }
       stage.permille = static_cast<std::uint32_t>(permille);
-      if (tokens.size() == 4) {
-        if (tokens[2] != "hold") return fail("expected 'hold' after permille");
-        stage.hold = tokens[3];
+      ++next;
+      if (next != tokens.size()) {
+        if (tokens.size() != next + 2 || tokens[next] != "hold") {
+          return fail("expected 'hold <duration>' after permille");
+        }
+        stage.hold = tokens[next + 1];
       }
       plan->stages.push_back(std::move(stage));
     } else if (key == "version") {

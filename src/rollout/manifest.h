@@ -82,12 +82,20 @@ void Sign(RulesetManifest& manifest, std::uint64_t key);
 //   sku Wemo-Insight
 //   target 5
 //   rollback 4
-//   stage 50 hold 2s        # permille of the fleet, then hold duration
+//   stage canary 50 hold 2s # optional name, permille, optional hold
 //   stage 1000 hold 5s
 //   version 4 signed
 //   version 5 signed
+//
+// The parser is deliberately permissive about stage permille values
+// (anything that fits a uint32 parses); range sanity lives in the R005
+// lint so an out-of-range ladder surfaces as a finding with the rest of
+// the plan's problems, not as a parse dead-end hiding them.
 
 struct RolloutPlanStage {
+  /// Optional operator-facing label ("canary", "fleet"); duplicates are
+  /// an R005 error. Empty for unnamed stages.
+  std::string name;
   std::uint32_t permille = 0;
   std::string hold;  // raw duration token ("2s", "500ms"); informational
 };

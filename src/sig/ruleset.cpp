@@ -119,4 +119,11 @@ std::vector<RuleLintIssue> RuleSet::Lint(const std::vector<Rule>& rules) {
   return issues;
 }
 
+bool RuleSet::AnyBlocking(const std::vector<Rule>& rules) {
+  for (const auto& rule : rules) {
+    if (rule.action == RuleAction::kBlock) return true;
+  }
+  return false;
+}
+
 }  // namespace iotsec::sig

@@ -73,6 +73,11 @@ class RuleSet {
     return Lint(rules_);
   }
 
+  /// True when any rule's action is block. The model checker's
+  /// guard-strength probe keys on this: a SignatureMatcher chain with
+  /// alert-only rules detects attack traffic but never drops it.
+  [[nodiscard]] static bool AnyBlocking(const std::vector<Rule>& rules);
+
   /// The current shared compile (nullptr until first EnsureCompiled, or
   /// stale while edits are pending). Identity comparison across RuleSets
   /// proves cache sharing in tests.

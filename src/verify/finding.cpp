@@ -1,0 +1,94 @@
+// The finding-code registry: one row per stable diagnostic code.
+//
+// `iotsec_lint --list-rules` prints this table and docs/verify.md renders
+// it; both therefore stay in lockstep with what the checkers emit. Keep
+// the rows ordered by family (P, G, R, X, M) and ascending code.
+#include "verify/finding.h"
+
+namespace iotsec::verify {
+
+const std::vector<FindingCodeInfo>& FindingCatalogue() {
+  static const std::vector<FindingCodeInfo> kCatalogue = {
+      // ---- P0xx: policy layer.
+      {"P001", Severity::kError,
+       "non-exhaustive policy falls open: a device falls to a "
+       "weaker-than-monitor default posture in a reachable state"},
+      {"P002", Severity::kWarn,
+       "rule shadowed by a higher-priority subsumer (can never win)"},
+      {"P003", Severity::kError,
+       "same-priority overlapping rules demand different postures"},
+      {"P004", Severity::kError,
+       "quarantine unreachable: a suspicious/unpatched/compromised device "
+       "is not tunneled through any enforcing umbox"},
+      {"P005", Severity::kWarn, "dead rule: decides no reachable state"},
+      {"P006", Severity::kError,
+       "rule predicate can never match (unknown dimension or value)"},
+      {"P007", Severity::kWarn,
+       "posture tunnels traffic but carries an empty umbox config"},
+      {"P008", Severity::kError, "policy text does not parse (file mode)"},
+      // ---- G0xx: dataplane layer.
+      {"G001", Severity::kError, "umbox config does not parse/build"},
+      {"G002", Severity::kWarn,
+       "unknown config key for the element type (ignored at build time)"},
+      {"G003", Severity::kWarn, "element unreachable from the entry point"},
+      {"G004", Severity::kError, "wiring cycle (packets loop forever)"},
+      {"G005", Severity::kError,
+       "wired output port beyond the element type's arity"},
+      {"G006", Severity::kError,
+       "dangling output port bypasses downstream security elements"},
+      {"G007", Severity::kError,
+       "boot-queue limit 0 blackholes boot-window traffic (warn variant: "
+       "aggregate boot-queue capacity exceeds the packet-pool budget)"},
+      // ---- R0xx: ruleset layer.
+      {"R001", Severity::kWarn, "empty content pattern"},
+      {"R002", Severity::kError, "duplicate sid"},
+      {"R003", Severity::kWarn,
+       "folded content patterns duplicate another rule"},
+      {"R004", Severity::kError, "rule text does not parse"},
+      {"R005", Severity::kError,
+       "rollout plan unsafe: parse failure, missing/unknown/unsigned "
+       "rollback or target, or malformed stage ladder (warn variant: "
+       "0-permille first stage or no canary/control group)"},
+      // ---- X0xx: cross-layer attack-path coverage.
+      {"X001", Severity::kError,
+       "multi-stage attack path with no guarded hop in every state"},
+      {"X002", Severity::kWarn,
+       "path only partially covered: the best hop's guard disappears in "
+       "some state along the path"},
+      {"X003", Severity::kInfo, "path covered (records the guarding hop)"},
+      {"X004", Severity::kError,
+       "federated placement breaks a cross-segment predicate (stale view, "
+       "rule can silently never fire)"},
+      // ---- M0xx: symbolic model checking.
+      {"M001", Severity::kError,
+       "unguarded attack path reaches a protected goal (minimal "
+       "counterexample trace)"},
+      {"M002", Severity::kError,
+       "guard evaporation: an initially-guarded hop becomes unguarded "
+       "after a context transition, opening the path"},
+      {"M003", Severity::kWarn,
+       "goal cut only by alert-only scanning — blocking guards alone do "
+       "not stop the path (detected but not blocked)"},
+      {"M004", Severity::kInfo,
+       "goal proven cut by blocking enforcement (warn variant: "
+       "exploration budget exhausted before a verdict)"},
+      // ---- M1xx: differential verification (regressions only).
+      {"M101", Severity::kError,
+       "new attack path introduced: goal safe under the base version, "
+       "unguarded under the next"},
+      {"M102", Severity::kError,
+       "enforcement weakened on an existing path: blocked under base, "
+       "only alert-guarded under next (warn variant: unguarded path got "
+       "strictly shorter)"},
+  };
+  return kCatalogue;
+}
+
+const FindingCodeInfo* FindFindingCode(std::string_view code) {
+  for (const auto& info : FindingCatalogue()) {
+    if (info.code == code) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace iotsec::verify

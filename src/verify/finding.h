@@ -62,9 +62,36 @@
 //                 the reading or owning segment has no global-sync path,
 //                 so the predicate evaluates against a permanently stale
 //                 view (the rule can silently never fire — fail-open)
+//
+//   M0xx — symbolic model checking (verify/model_check.h): bounded
+//   exhaustive exploration of policy FSM × context transitions ×
+//   attack-graph hops × µmbox guard strength
+//     M001 error  unguarded attack path: a reachable interleaving of
+//                 context transitions and exploit hops delivers a
+//                 protected goal with no guard on any fired hop
+//                 (minimal counterexample trace in the message)
+//     M002 error  guard evaporation: as M001, but a fired hop's device
+//                 *was* guarded in the initial state — the trace shows
+//                 the context transition that dissolved the guard
+//     M003 warn   goal cut only by alert-only scanning: with blocking
+//                 guards alone the goal is reachable (strict-mode
+//                 counterexample: detected but not stopped)
+//     M004 info   goal proven cut by blocking enforcement (records the
+//                 explored state/transition counts)
+//          warn   exploration budget exhausted before a verdict
+//
+//   M1xx — differential verification (verify/diff_verify.h): regressions
+//   between two deployment/ruleset versions, never absolute findings
+//     M101 error  new attack path introduced: goal safe under the base
+//                 version, unguarded-reachable under the next
+//     M102 error  enforcement weakened on an existing path: goal blocked
+//                 under the base version, only alert-guarded under next
+//          warn   existing unguarded path got strictly shorter
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace iotsec::verify {
 
@@ -94,10 +121,34 @@ struct Finding {
   /// "error P001 [posture trust]: ..." (+" @line:col" when positioned).
   [[nodiscard]] std::string ToString() const;
 
-  /// Deterministic report order: severity desc, code, object, position,
-  /// message.
+  /// Stable identity for baseline suppression: code, object and message,
+  /// tab-separated. Position-free on purpose — unrelated edits shifting a
+  /// config line must not resurrect a suppressed finding.
+  [[nodiscard]] std::string BaselineKey() const;
+
+  /// Deterministic report order: severity desc, then object, position,
+  /// code, message — so two findings sharing a severity and file:line:col
+  /// still tie-break totally (code first, then message).
   [[nodiscard]] bool operator<(const Finding& other) const;
   [[nodiscard]] bool operator==(const Finding& other) const = default;
 };
+
+/// One row of the finding-code catalogue — the single registry behind
+/// `iotsec_lint --list-rules` and docs/verify.md, so neither can drift
+/// from the checkers.
+struct FindingCodeInfo {
+  std::string_view code;
+  /// The worst severity the code emits (a few codes also emit a softer
+  /// variant; the summary says so).
+  Severity severity = Severity::kWarn;
+  std::string_view summary;
+};
+
+/// Every registered finding code, ordered by family (P, G, R, X, M) and
+/// ascending code within a family. Codes are unique.
+[[nodiscard]] const std::vector<FindingCodeInfo>& FindingCatalogue();
+
+/// Catalogue row for one code; nullptr for unknown codes.
+[[nodiscard]] const FindingCodeInfo* FindFindingCode(std::string_view code);
 
 }  // namespace iotsec::verify

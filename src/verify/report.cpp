@@ -20,12 +20,19 @@ std::string Finding::ToString() const {
   return out;
 }
 
+std::string Finding::BaselineKey() const {
+  return code + "\t" + object + "\t" + message;
+}
+
 bool Finding::operator<(const Finding& other) const {
-  // Errors first so the console shows the gating findings at the top.
+  // Errors first so the console shows the gating findings at the top;
+  // within a severity, group by object and position so a file's findings
+  // read top-to-bottom; code then message break the remaining ties, so
+  // the order is total even for findings sharing a file:line:col.
   const int sev_a = -static_cast<int>(severity);
   const int sev_b = -static_cast<int>(other.severity);
-  return std::tie(sev_a, code, object, line, col, message) <
-         std::tie(sev_b, other.code, other.object, other.line, other.col,
+  return std::tie(sev_a, object, line, col, code, message) <
+         std::tie(sev_b, other.object, other.line, other.col, other.code,
                   other.message);
 }
 
@@ -33,6 +40,44 @@ void Report::Finalize() {
   std::sort(findings_.begin(), findings_.end());
   findings_.erase(std::unique(findings_.begin(), findings_.end()),
                   findings_.end());
+}
+
+std::size_t Report::SuppressBaseline(const std::set<std::string>& baseline) {
+  const std::size_t before = findings_.size();
+  std::erase_if(findings_, [&](const Finding& f) {
+    return baseline.count(f.BaselineKey()) > 0;
+  });
+  return before - findings_.size();
+}
+
+std::set<std::string> ParseBaseline(const std::string& text) {
+  std::set<std::string> keys;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const bool blank =
+        line.find_first_not_of(" \t") == std::string::npos;
+    if (!blank && line[0] != '#') keys.insert(std::move(line));
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return keys;
+}
+
+std::string FormatBaseline(const Report& report) {
+  std::string out =
+      "# iotsec_lint baseline: one suppressed finding per line\n"
+      "# (code<TAB>object<TAB>message — regenerate with --write-baseline)\n";
+  std::set<std::string> keys;
+  for (const auto& f : report.findings()) keys.insert(f.BaselineKey());
+  for (const auto& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
 }
 
 std::size_t Report::CountAtLeast(Severity floor) const {

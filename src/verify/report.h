@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,11 @@ class Report {
     return CountAtLeast(Severity::kWarn) > 0;
   }
 
+  /// Removes every finding whose BaselineKey is in `baseline` (the
+  /// `--baseline` suppression mechanism: a run is clean when only *known*
+  /// findings remain). Returns how many were suppressed.
+  std::size_t SuppressBaseline(const std::set<std::string>& baseline);
+
   /// clang-tidy-style text: one line per finding plus a summary line.
   [[nodiscard]] std::string ToText() const;
   /// {"findings":[{code,severity,object,line,col,message},...],
@@ -42,5 +48,13 @@ class Report {
  private:
   std::vector<Finding> findings_;
 };
+
+/// Parses a baseline file: one Finding::BaselineKey per line, '#'
+/// comments and blank lines ignored.
+[[nodiscard]] std::set<std::string> ParseBaseline(const std::string& text);
+
+/// Serializes a finalized report to the baseline format ParseBaseline
+/// reads (deterministic: finding order, duplicates dropped by the set).
+[[nodiscard]] std::string FormatBaseline(const Report& report);
 
 }  // namespace iotsec::verify

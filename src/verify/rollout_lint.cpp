@@ -1,5 +1,7 @@
 #include "verify/rollout_lint.h"
 
+#include <map>
+
 #include "rollout/manifest.h"
 
 namespace iotsec::verify {
@@ -65,8 +67,20 @@ std::size_t LintRolloutPlan(const std::string& plan_text,
   } else {
     bool has_canary = false;
     std::uint32_t prev = 0;
+    std::map<std::string, std::size_t> first_named;
     for (std::size_t i = 0; i < plan.stages.size(); ++i) {
       const std::uint32_t permille = plan.stages[i].permille;
+      if (!plan.stages[i].name.empty()) {
+        const auto [it, inserted] =
+            first_named.emplace(plan.stages[i].name, i);
+        if (!inserted) {
+          add(Severity::kError,
+              "duplicate stage name '" + plan.stages[i].name + "' (stages " +
+                  std::to_string(it->second + 1) + " and " +
+                  std::to_string(i + 1) +
+                  ") — gate telemetry would be un-attributable");
+        }
+      }
       if (permille > 1000) {
         add(Severity::kError,
             "stage " + std::to_string(i + 1) + " permille " +
@@ -89,7 +103,8 @@ std::size_t LintRolloutPlan(const std::string& plan_text,
     if (!has_canary) {
       add(Severity::kWarn,
           "no stage below 1000\xE2\x80\xB0 — the version goes straight to "
-          "the whole fleet with no canary soak");
+          "the whole fleet with no canary soak and no control group for "
+          "the health gate to compare against");
     }
   }
 

@@ -20,6 +20,7 @@
 #include "rollout/receiver.h"
 #include "rollout/version_store.h"
 #include "sim/simulator.h"
+#include "verify/diff_verify.h"
 
 namespace iotsec::rollout {
 namespace {
@@ -461,6 +462,137 @@ TEST(CoordinatorTest, DecisionDigestIsReproducible) {
   EXPECT_EQ(run(true), run(true));
   EXPECT_NE(run(false), run(true))
       << "the digest must actually encode the gate verdicts";
+}
+
+// ------------------------------------------- pre-canary diff-verify gate
+
+/// A one-device deployment model whose only blocking enforcement is the
+/// crowd/OTA ruleset itself: the device's posture merely observes
+/// (Counter -> Logger), so whether the backdoor goal stays blocked
+/// tracks the version under verification exactly.
+struct GateModelFixture {
+  policy::StateSpace space;
+  policy::FsmPolicy policy;
+  learn::AttackGraph graph;
+
+  GateModelFixture() {
+    policy::Dimension ctx;
+    ctx.name = "ctx:plug";
+    ctx.kind = policy::DimensionKind::kDeviceContext;
+    ctx.device = 1;
+    ctx.values = policy::DefaultSecurityContexts();
+    space.AddDimension(std::move(ctx));
+
+    policy::Posture observe;
+    observe.profile = "observe";
+    observe.umbox_config = "cnt :: Counter()\nlog :: Logger()\ncnt -> log\n";
+    policy.SetDefault(observe);
+
+    graph.AddFact("net_access");
+    graph.AddExploit({"use backdoor channel on plug",
+                      {"net_access"},
+                      {"ctrl:dev:plug"},
+                      DeviceId{1}});
+  }
+
+  verify::DeploymentModel Model() const {
+    verify::DeploymentModel model;
+    model.space = &space;
+    model.policy = &policy;
+    model.attack_graph = &graph;
+    model.devices = {1};
+    model.device_names = {{1, "plug"}};
+    model.goals = {"ctrl:dev:plug"};
+    return model;
+  }
+};
+
+constexpr char kBlockBackdoor[] =
+    "block udp any any -> any 5009 (msg:\"backdoor-channel\"; sid:9001; "
+    "iot_backdoor; )";
+constexpr char kAlertBackdoor[] =
+    "alert udp any any -> any 5009 (msg:\"backdoor-channel\"; sid:9001; "
+    "iot_backdoor; )";
+
+TEST(CoordinatorTest, VerifyGateBlocksWeakenedDeltaAndPassesBenign) {
+  auto cfg = CoordinatorWorld::MakeConfig();
+  cfg.verify_gate = VerifyGateMode::kBlock;
+  CoordinatorWorld w(50, cfg);
+  GateModelFixture fixture;
+  verify::ModelCheckCache cache;
+  w.coord->SetVerifier(
+      verify::MakePreRolloutVerifier(fixture.Model(), &w.store, &cache));
+
+  // v1 adds blocking enforcement over the alert-only base: no regression.
+  const auto v1 = w.store.Cut("SKU", {kBlockBackdoor});
+  w.coord->OnVersionCut("SKU");
+  w.sim.RunFor(kSecond);
+  EXPECT_EQ(w.coord->StableOf("SKU"), v1);
+  EXPECT_EQ(w.coord->stats().verify_checks, 1u);
+  EXPECT_EQ(w.coord->stats().verify_blocks, 0u);
+
+  // v2 demotes the same rule to alert-only: the gate must quarantine it
+  // before any device sees it.
+  const auto v2 = w.store.Cut("SKU", {kAlertBackdoor});
+  w.coord->OnVersionCut("SKU");
+  w.sim.RunFor(kSecond);
+  EXPECT_EQ(w.coord->StateOf("SKU"), RolloutCoordinator::SkuState::kIdle);
+  EXPECT_EQ(w.coord->StableOf("SKU"), v1) << "weakened version must not stage";
+  EXPECT_TRUE(w.store.IsQuarantined("SKU", v2));
+  EXPECT_EQ(w.coord->stats().verify_blocks, 1u);
+  EXPECT_EQ(w.coord->stats().rollouts_started, 1u)
+      << "the candidate dies before the rollout begins";
+  for (DeviceId d = 1; d <= 50; ++d) {
+    EXPECT_EQ(w.coord->VersionOf(d), v1) << "device " << d;
+  }
+
+  // v3 keeps the block rule and adds telemetry: benign, promotes.
+  const auto v3 = w.store.Cut("SKU", {kBlockBackdoor, kAlertBackdoor});
+  w.coord->OnVersionCut("SKU");
+  w.sim.RunFor(kSecond);
+  EXPECT_EQ(w.coord->StableOf("SKU"), v3);
+  EXPECT_EQ(w.coord->stats().verify_blocks, 1u);
+  EXPECT_GT(cache.hits(), 0u)
+      << "diff runs against the same stable version share the cached check";
+}
+
+TEST(CoordinatorTest, VerifyGateWarnModeStagesAnyway) {
+  auto cfg = CoordinatorWorld::MakeConfig();
+  cfg.verify_gate = VerifyGateMode::kWarn;
+  CoordinatorWorld w(50, cfg);
+  GateModelFixture fixture;
+  w.coord->SetVerifier(
+      verify::MakePreRolloutVerifier(fixture.Model(), &w.store, nullptr));
+
+  const auto v1 = w.store.Cut("SKU", {kBlockBackdoor});
+  w.coord->OnVersionCut("SKU");
+  w.sim.RunFor(kSecond);
+  ASSERT_EQ(w.coord->StableOf("SKU"), v1);
+
+  const auto v2 = w.store.Cut("SKU", {kAlertBackdoor});
+  w.coord->OnVersionCut("SKU");
+  w.sim.RunFor(kSecond);
+  EXPECT_EQ(w.coord->StableOf("SKU"), v2)
+      << "warn mode logs the regression but stages the version";
+  EXPECT_EQ(w.coord->stats().verify_warns, 1u);
+  EXPECT_EQ(w.coord->stats().verify_blocks, 0u);
+  EXPECT_FALSE(w.store.IsQuarantined("SKU", v2));
+}
+
+TEST(CoordinatorTest, VerifyGateOffIgnoresInstalledVerifier) {
+  auto cfg = CoordinatorWorld::MakeConfig();
+  cfg.verify_gate = VerifyGateMode::kOff;
+  CoordinatorWorld w(50, cfg);
+  GateModelFixture fixture;
+  w.coord->SetVerifier(
+      verify::MakePreRolloutVerifier(fixture.Model(), &w.store, nullptr));
+  w.store.Cut("SKU", {kBlockBackdoor});
+  w.coord->OnVersionCut("SKU");
+  const auto v2 = w.store.Cut("SKU", {kAlertBackdoor});
+  w.coord->OnVersionCut("SKU");
+  w.sim.RunFor(2 * kSecond);
+  EXPECT_EQ(w.coord->StableOf("SKU"), v2);
+  EXPECT_EQ(w.coord->stats().verify_checks, 0u);
 }
 
 // ----------------------------------------------------- deployment end-to-end

@@ -14,7 +14,9 @@
 #include "sig/rule.h"
 #include "sig/ruleset.h"
 #include "verify/coverage.h"
+#include "verify/diff_verify.h"
 #include "verify/graph_lint.h"
+#include "verify/model_check.h"
 #include "verify/policy_check.h"
 #include "verify/rollout_lint.h"
 #include "verify/rules_lint.h"
@@ -706,6 +708,467 @@ TEST(Verifier, X004CleanWhenSyncedOrColocated) {
   partial.segment_of = {{1, 0}};
   in.federation = partial;
   EXPECT_FALSE(Has(Verify(in), "X004")) << Verify(in).ToText();
+}
+
+// ---- finding-code catalogue (--list-rules registry) ------------------
+
+TEST(FindingCatalogue, CoversEveryFamilyWithUniqueCodes) {
+  const auto& catalogue = FindingCatalogue();
+  // 8 P + 7 G + 5 R + 4 X + 4 M0xx + 2 M1xx.
+  EXPECT_EQ(catalogue.size(), 30u);
+  std::set<std::string> codes;
+  for (const auto& info : catalogue) {
+    EXPECT_TRUE(codes.insert(std::string(info.code)).second)
+        << "duplicate code " << info.code;
+    EXPECT_FALSE(info.summary.empty()) << info.code;
+  }
+  for (const char* code :
+       {"P001", "P008", "G001", "G007", "R001", "R005", "X001", "X004",
+        "M001", "M004", "M101", "M102"}) {
+    EXPECT_TRUE(codes.count(code)) << code;
+  }
+}
+
+TEST(FindingCatalogue, LookupFindsKnownAndRejectsUnknownCodes) {
+  const auto* m002 = FindFindingCode("M002");
+  ASSERT_NE(m002, nullptr);
+  EXPECT_EQ(m002->severity, Severity::kError);
+  EXPECT_EQ(FindFindingCode("Z999"), nullptr);
+  EXPECT_EQ(FindFindingCode(""), nullptr);
+}
+
+// ---- deterministic ordering tie-breaks -------------------------------
+
+TEST(Report, TieBreaksOnCodeThenMessage) {
+  // Same severity, same object, same (absent) position: order must still
+  // be total — code first, then message.
+  Report report;
+  report.Add("P002", Severity::kWarn, "same", "bbb");
+  report.Add("G002", Severity::kWarn, "same", "zzz");
+  report.Add("G002", Severity::kWarn, "same", "aaa");
+  report.Finalize();
+  ASSERT_EQ(report.findings().size(), 3u);
+  EXPECT_EQ(report.findings()[0].code, "G002");
+  EXPECT_EQ(report.findings()[0].message, "aaa");
+  EXPECT_EQ(report.findings()[1].code, "G002");
+  EXPECT_EQ(report.findings()[1].message, "zzz");
+  EXPECT_EQ(report.findings()[2].code, "P002");
+}
+
+// ---- baseline suppression --------------------------------------------
+
+TEST(Baseline, SuppressesOnlyKnownFindingsAndIgnoresPositions) {
+  Report first;
+  first.Add("G002", Severity::kWarn, "graph a", "unknown key 'brust'", 3, 7);
+  first.Add("R001", Severity::kWarn, "rules b", "empty pattern");
+  first.Finalize();
+  const auto baseline = ParseBaseline(FormatBaseline(first));
+  EXPECT_EQ(baseline.size(), 2u);
+
+  Report second;
+  // Same finding at a shifted position must still be suppressed.
+  second.Add("G002", Severity::kWarn, "graph a", "unknown key 'brust'", 9, 2);
+  second.Add("R001", Severity::kWarn, "rules b", "empty pattern");
+  second.Add("G004", Severity::kError, "graph a", "cycle");  // new
+  second.Finalize();
+  EXPECT_EQ(second.SuppressBaseline(baseline), 2u);
+  ASSERT_EQ(second.findings().size(), 1u);
+  EXPECT_EQ(second.findings()[0].code, "G004");
+  EXPECT_TRUE(second.HasErrors());
+}
+
+TEST(Baseline, ParserSkipsCommentsBlanksAndCarriageReturns) {
+  const auto parsed = ParseBaseline(
+      "# comment\n\nG002\tgraph a\tmsg\r\n  \nR001\trules b\tother\n");
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_TRUE(parsed.count("G002\tgraph a\tmsg"));
+}
+
+// ---- rollout plan lint edge cases (R005) ------------------------------
+
+TEST(RolloutPlanLint, EmptyStageLadderIsAnError) {
+  const auto report = LintPlan(
+      "sku S\ntarget 2\nrollback 1\nversion 1 signed\nversion 2 signed\n");
+  ASSERT_TRUE(Has(report, "R005"));
+  EXPECT_NE(report.findings()[0].message.find("no stages declared"),
+            std::string::npos);
+  EXPECT_EQ(report.findings()[0].severity, Severity::kError);
+}
+
+TEST(RolloutPlanLint, PermilleBeyondThousandIsAnError) {
+  const auto report = LintPlan(
+      "sku S\ntarget 2\nrollback 1\nstage 50 hold 1s\nstage 1500 hold 1s\n"
+      "version 1 signed\nversion 2 signed\n");
+  bool found = false;
+  for (const auto& f : report.findings()) {
+    if (f.message.find("exceeds 1000") != std::string::npos) {
+      found = true;
+      EXPECT_EQ(f.severity, Severity::kError);
+    }
+  }
+  EXPECT_TRUE(found) << report.ToText();
+}
+
+TEST(RolloutPlanLint, NamedStagesParseAndDuplicateNamesAreErrors) {
+  const auto clean = LintPlan(
+      "sku S\ntarget 2\nrollback 1\n"
+      "stage canary 50 hold 1s\nstage fleet 1000 hold 1s\n"
+      "version 1 signed\nversion 2 signed\n");
+  EXPECT_TRUE(clean.findings().empty()) << clean.ToText();
+
+  const auto dup = LintPlan(
+      "sku S\ntarget 2\nrollback 1\n"
+      "stage canary 50 hold 1s\nstage canary 250 hold 1s\n"
+      "stage fleet 1000 hold 1s\n"
+      "version 1 signed\nversion 2 signed\n");
+  ASSERT_TRUE(Has(dup, "R005"));
+  EXPECT_NE(dup.findings()[0].message.find("duplicate stage name 'canary'"),
+            std::string::npos)
+      << dup.ToText();
+  EXPECT_EQ(dup.findings()[0].severity, Severity::kError);
+}
+
+TEST(RolloutPlanLint, MissingControlGroupIsAWarning) {
+  // A fleet-only ladder leaves the health gate with no control group.
+  const auto report = LintPlan(
+      "sku S\ntarget 2\nrollback 1\nstage 1000 hold 1s\n"
+      "version 1 signed\nversion 2 signed\n");
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].severity, Severity::kWarn);
+  EXPECT_NE(report.findings()[0].message.find("control group"),
+            std::string::npos);
+}
+
+// ---- symbolic model checking (M0xx) ----------------------------------
+
+policy::StateSpace PlugWindowSpace() {
+  policy::StateSpace space;
+  policy::Dimension plug;
+  plug.name = "ctx:plug";
+  plug.kind = policy::DimensionKind::kDeviceContext;
+  plug.device = 1;
+  plug.values = policy::DefaultSecurityContexts();
+  space.AddDimension(std::move(plug));
+  policy::Dimension window;
+  window.name = "ctx:window";
+  window.kind = policy::DimensionKind::kDeviceContext;
+  window.device = 2;
+  window.values = policy::DefaultSecurityContexts();
+  space.AddDimension(std::move(window));
+  policy::Dimension alarm;
+  alarm.name = "env:alarm_armed";
+  alarm.kind = policy::DimensionKind::kEnvVar;
+  alarm.values = {"on", "off"};  // initial = "on"
+  space.AddDimension(std::move(alarm));
+  return space;
+}
+
+/// plug (backdoored) -> automation -> window -> physical entry: the
+/// paper's multi-stage attack, as the learning pipeline would export it.
+learn::AttackGraph PlugWindowGraph() {
+  learn::AttackGraph graph;
+  graph.AddFact("net_access");
+  graph.AddExploit({"use backdoor channel on plug",
+                    {"net_access"},
+                    {"ctrl:dev:plug"},
+                    DeviceId{1}});
+  graph.AddExploit({"abuse automation plug => window",
+                    {"ctrl:dev:plug"},
+                    {"ctrl:dev:window"},
+                    kInvalidDevice});
+  graph.AddExploit({"physical entry via window",
+                    {"ctrl:dev:window"},
+                    {"physical_entry"},
+                    DeviceId{2}});
+  return graph;
+}
+
+/// Alert-only posture: Logger scans, nothing can drop.
+policy::Posture ObservePosture() {
+  policy::Posture p;
+  p.profile = "observe";
+  p.umbox_config = "cnt :: Counter()\nlog :: Logger()\ncnt -> log\n";
+  return p;
+}
+
+/// Pure plumbing: tunneled, but nothing security-relevant in the chain —
+/// its only strength is whatever the crowd/OTA splice contributes.
+policy::Posture PlumbingPosture() {
+  policy::Posture p;
+  p.profile = "plumbing";
+  p.umbox_config = "cnt :: Counter()\n";
+  return p;
+}
+
+struct McFixture {
+  policy::StateSpace space = PlugWindowSpace();
+  policy::FsmPolicy policy;
+  learn::AttackGraph graph = PlugWindowGraph();
+
+  ModelCheckInput In() const {
+    ModelCheckInput in;
+    in.space = &space;
+    in.policy = &policy;
+    in.attack_graph = &graph;
+    in.devices = {1, 2};
+    in.device_names = {{1, "plug"}, {2, "window"}};
+    in.goals = {"physical_entry"};
+    return in;
+  }
+};
+
+/// The seeded guard-evaporation fixture: the window is quarantined while
+/// the alarm is armed, so the minimal counterexample must disarm it.
+McFixture EvaporationFixture() {
+  McFixture f;
+  f.policy.SetDefault(core::TrustPosture());
+  policy::PolicyRule guard;
+  guard.name = "window-guard";
+  guard.when = policy::StatePredicate::Eq("env:alarm_armed", "on");
+  guard.device = 2;
+  guard.posture = core::QuarantinePosture();
+  guard.priority = 10;
+  f.policy.Add(guard);
+  return f;
+}
+
+constexpr char kEvaporationTrace[] =
+    "1) exploit 'use backdoor channel on plug' on plug [default -> posture "
+    "'trust' (guard none), ctx:plug -> compromised]  "
+    "2) exploit 'abuse automation plug => window'  "
+    "3) set env:alarm_armed = off (was on) [window: rule 'window-guard' -> "
+    "default, posture 'quarantine' -> 'trust']  "
+    "4) exploit 'physical entry via window' on window [default -> posture "
+    "'trust' (guard none), ctx:window -> compromised]";
+
+TEST(ModelCheck, MinimalEvaporationCounterexampleIsPinned) {
+  const McFixture f = EvaporationFixture();
+  const auto result = ModelCheck(f.In());
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  const auto& v = result.verdicts[0];
+  EXPECT_EQ(v.goal, "physical_entry");
+  EXPECT_EQ(v.cls, GoalVerdict::Class::kUnguarded);
+  EXPECT_TRUE(v.guard_evaporated);
+  ASSERT_EQ(v.trace.steps.size(), 4u);
+  EXPECT_EQ(v.trace.ToString(), kEvaporationTrace);
+  EXPECT_FALSE(result.exhausted);
+
+  Report report;
+  ReportModelCheck(result, "fixture", report);
+  report.Finalize();
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].code, "M002");
+  EXPECT_EQ(report.findings()[0].severity, Severity::kError);
+  EXPECT_EQ(report.findings()[0].message,
+            std::string("attack path reaches 'physical_entry' after its "
+                        "guard evaporates (4 step(s)): ") +
+                kEvaporationTrace);
+  EXPECT_NE(report.ToJson().find("\"code\":\"M002\""), std::string::npos);
+}
+
+TEST(ModelCheck, UnguardedPathWithNoInitialGuardIsM001) {
+  McFixture f;
+  f.policy.SetDefault(core::TrustPosture());
+  const auto result = ModelCheck(f.In());
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].cls, GoalVerdict::Class::kUnguarded);
+  EXPECT_FALSE(result.verdicts[0].guard_evaporated);
+  // No rule reads the alarm, so no context step is needed: 3 attack hops.
+  EXPECT_EQ(result.verdicts[0].trace.steps.size(), 3u);
+  Report report;
+  ReportModelCheck(result, "fixture", report);
+  report.Finalize();
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"M001"});
+}
+
+TEST(ModelCheck, AlertOnlyGuardIsM003WithStrictTrace) {
+  McFixture f;
+  f.policy.SetDefault(ObservePosture());
+  const auto result = ModelCheck(f.In());
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].cls, GoalVerdict::Class::kAlertOnly);
+  EXPECT_EQ(result.verdicts[0].trace.steps.size(), 3u);
+  Report report;
+  ReportModelCheck(result, "fixture", report);
+  report.Finalize();
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"M003"});
+  EXPECT_EQ(report.findings()[0].severity, Severity::kWarn);
+}
+
+TEST(ModelCheck, BlockingGuardYieldsProofM004) {
+  McFixture f;
+  f.policy.SetDefault(core::QuarantinePosture());
+  const auto result = ModelCheck(f.In());
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].cls, GoalVerdict::Class::kBlocked);
+  EXPECT_TRUE(result.verdicts[0].trace.empty());
+  Report report;
+  ReportModelCheck(result, "fixture", report);
+  report.Finalize();
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"M004"});
+  EXPECT_EQ(report.findings()[0].severity, Severity::kInfo);
+}
+
+TEST(ModelCheck, ExhaustedBudgetIsM004Warn) {
+  const McFixture f = EvaporationFixture();
+  auto in = f.In();
+  in.config.max_depth = 0;  // nothing can be expanded
+  const auto result = ModelCheck(in);
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].cls, GoalVerdict::Class::kUnknown);
+  EXPECT_TRUE(result.exhausted);
+  Report report;
+  ReportModelCheck(result, "fixture", report);
+  report.Finalize();
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"M004"});
+  EXPECT_EQ(report.findings()[0].severity, Severity::kWarn);
+  EXPECT_NE(report.findings()[0].message.find("budget exhausted"),
+            std::string::npos);
+}
+
+TEST(ModelCheck, RepeatedRunsAreByteDeterministic) {
+  const McFixture f = EvaporationFixture();
+  Report a;
+  Report b;
+  ReportModelCheck(ModelCheck(f.In()), "fixture", a);
+  ReportModelCheck(ModelCheck(f.In()), "fixture", b);
+  a.Finalize();
+  b.Finalize();
+  EXPECT_EQ(a.ToText(), b.ToText());
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+// ---- model-check memo cache ------------------------------------------
+
+TEST(ModelCheckCache, SecondRunHitsAndDistinctInputsMiss) {
+  const McFixture f = EvaporationFixture();
+  ModelCheckCache cache;
+  const auto r1 = CachedModelCheck(f.In(), &cache);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const auto r2 = CachedModelCheck(f.In(), &cache);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(r1.get(), r2.get()) << "hit must return the cached object";
+
+  auto in = f.In();
+  in.extra_rule_texts = {"block udp any any -> any 5009 (msg:\"x\"; "
+                         "sid:9001; iot_backdoor; )"};
+  (void)CachedModelCheck(in, &cache);
+  EXPECT_EQ(cache.misses(), 2u) << "different rules must not collide";
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ModelCheckCache, SerializationRoundTripsResults) {
+  const McFixture f = EvaporationFixture();
+  ModelCheckCache cache;
+  const auto original = CachedModelCheck(f.In(), &cache);
+
+  ModelCheckCache restored;
+  ASSERT_TRUE(restored.Deserialize(cache.Serialize()));
+  EXPECT_EQ(restored.size(), 1u);
+  const auto hit = restored.Lookup(ModelCheckKey(f.In()));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(restored.hits(), 1u);
+  ASSERT_EQ(hit->verdicts.size(), original->verdicts.size());
+  EXPECT_EQ(hit->verdicts[0].cls, original->verdicts[0].cls);
+  EXPECT_EQ(hit->verdicts[0].goal, original->verdicts[0].goal);
+  EXPECT_EQ(hit->verdicts[0].guard_evaporated,
+            original->verdicts[0].guard_evaporated);
+  EXPECT_EQ(hit->verdicts[0].trace, original->verdicts[0].trace);
+  EXPECT_EQ(hit->states_explored, original->states_explored);
+
+  ModelCheckCache broken;
+  EXPECT_FALSE(broken.Deserialize("not a cache file"));
+  EXPECT_EQ(broken.size(), 0u);
+  ModelCheckCache empty;
+  EXPECT_TRUE(empty.Deserialize(ModelCheckCache().Serialize()));
+}
+
+// ---- differential verification (M1xx) --------------------------------
+
+constexpr char kBlockRule[] =
+    "block udp any any -> any 5009 (msg:\"backdoor-channel\"; sid:9001; "
+    "iot_backdoor; )";
+constexpr char kAlertRule[] =
+    "alert udp any any -> any 5009 (msg:\"backdoor-channel\"; sid:9001; "
+    "iot_backdoor; )";
+
+TEST(DiffVerify, WeakenedEnforcementIsM102Error) {
+  McFixture f;
+  f.policy.SetDefault(ObservePosture());
+  auto base = f.In();
+  base.extra_rule_texts = {kBlockRule};
+  auto next = f.In();
+  next.extra_rule_texts = {kAlertRule};
+  Report report;
+  EXPECT_FALSE(DiffVerify(base, next, "diff", report, nullptr));
+  report.Finalize();
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"M102"});
+  EXPECT_EQ(report.findings()[0].severity, Severity::kError);
+  EXPECT_NE(report.findings()[0].message.find("enforcement weakened"),
+            std::string::npos);
+}
+
+TEST(DiffVerify, DroppedBlockRuleIsM101NewAttackPath) {
+  McFixture f;
+  f.policy.SetDefault(PlumbingPosture());
+  auto base = f.In();
+  base.extra_rule_texts = {kBlockRule};
+  const auto next = f.In();  // no crowd rules at all
+  Report report;
+  EXPECT_FALSE(DiffVerify(base, next, "diff", report, nullptr));
+  report.Finalize();
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"M101"});
+  EXPECT_EQ(report.findings()[0].severity, Severity::kError);
+  EXPECT_NE(report.findings()[0].message.find("new attack path"),
+            std::string::npos);
+}
+
+TEST(DiffVerify, BenignAdditiveDeltaIsSilent) {
+  McFixture f;
+  f.policy.SetDefault(ObservePosture());
+  auto base = f.In();
+  base.extra_rule_texts = {kBlockRule};
+  auto next = f.In();
+  next.extra_rule_texts = {kBlockRule, kAlertRule};
+  Report report;
+  EXPECT_TRUE(DiffVerify(base, next, "diff", report, nullptr));
+  report.Finalize();
+  EXPECT_TRUE(report.findings().empty()) << report.ToText();
+}
+
+TEST(DiffVerify, ShorterUnguardedPathIsM102Warn) {
+  // Base: the evaporation fixture (4-step path). Next: the same world
+  // without the window guard (3-step path) — already broken, but worse.
+  const McFixture base_f = EvaporationFixture();
+  McFixture next_f;
+  next_f.policy.SetDefault(core::TrustPosture());
+  Report report;
+  EXPECT_TRUE(DiffVerify(base_f.In(), next_f.In(), "diff", report, nullptr));
+  report.Finalize();
+  ASSERT_EQ(Codes(report), std::vector<std::string>{"M102"});
+  EXPECT_EQ(report.findings()[0].severity, Severity::kWarn);
+  EXPECT_NE(report.findings()[0].message.find("got shorter"),
+            std::string::npos);
+}
+
+TEST(DiffVerify, SharedCacheReusesTheBaseRun) {
+  McFixture f;
+  f.policy.SetDefault(ObservePosture());
+  auto base = f.In();
+  base.extra_rule_texts = {kBlockRule};
+  auto weak = f.In();
+  weak.extra_rule_texts = {kAlertRule};
+  auto benign = f.In();
+  benign.extra_rule_texts = {kBlockRule, kAlertRule};
+  ModelCheckCache cache;
+  Report r1;
+  (void)DiffVerify(base, weak, "diff", r1, &cache);
+  EXPECT_EQ(cache.misses(), 2u);
+  Report r2;
+  (void)DiffVerify(base, benign, "diff", r2, &cache);
+  EXPECT_EQ(cache.hits(), 1u) << "second diff reuses the cached base run";
+  EXPECT_EQ(cache.misses(), 3u);
 }
 
 TEST(Report, JsonIsWellFormedAndEscaped) {

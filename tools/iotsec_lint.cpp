@@ -13,8 +13,24 @@
 // Usage:
 //   iotsec_lint [--graph FILE]... [--rules FILE]... [--policy FILE]...
 //               [--rollout-plan FILE]...
-//               [--scenario smart_home|quickstart|fixture_uncovered|all]
+//               [--scenario smart_home|quickstart|fixture_uncovered|
+//                           fixture_ota|all]
+//               [--model-check] [--diff BASE NEXT] [--mc-cache FILE]
+//               [--baseline FILE] [--write-baseline FILE]
 //               [--json FILE] [--format text|json] [--werror]
+//   iotsec_lint --list-rules
+//
+// Modes on top of the rule-based lint:
+//   --model-check     run the bounded symbolic explorer (M0xx findings)
+//                     over every --scenario input
+//   --diff BASE NEXT  differential verification: model-check each
+//                     scenario with the crowd/OTA rule texts from BASE
+//                     vs NEXT and report regressions only (M1xx)
+//   --mc-cache FILE   persist the model-check memo cache across runs
+//                     (hit/miss counts go to stderr)
+//   --baseline FILE   suppress known findings (exit clean when no *new*
+//                     findings); --write-baseline regenerates the file
+//   --list-rules      print the finding-code catalogue and exit
 //
 // Exit status: 0 clean, 1 at least one error-severity finding (or any
 // warning under --werror), 2 usage / IO failure.
@@ -32,7 +48,9 @@
 #include "core/postures.h"
 #include "learn/attack_graph.h"
 #include "policy/dsl.h"
+#include "verify/diff_verify.h"
 #include "verify/graph_lint.h"
+#include "verify/model_check.h"
 #include "verify/rollout_lint.h"
 #include "verify/rules_lint.h"
 #include "verify/verifier.h"
@@ -234,19 +252,85 @@ Scenario BuildFixtureUncovered() {
   return s;
 }
 
-bool RunScenario(const std::string& name, verify::Report& report) {
+/// Seeded-defect scenario for the OTA diff gate: same backdoored
+/// plug→window automation, but the default posture only *observes*
+/// (Counter → Logger, no blocking element), so whether the multi-stage
+/// path is enforced hinges entirely on the crowd/OTA rule text the
+/// controller splices in. With a block-action rule spliced the path is
+/// blocked; weaken it to alert-only and diff-verify flags M102.
+Scenario BuildFixtureOta() {
   Scenario s;
+  s.dep = std::make_unique<core::Deployment>();
+  s.dep->AddSmartPlug("plug", "oven_power",
+                      {devices::Vulnerability::kBackdoor});
+  s.dep->AddWindow("window");
+  s.space = s.dep->BuildStateSpace();
+  policy::Posture observe;
+  observe.profile = "observe";
+  observe.umbox_config = "cnt :: Counter()\nlog :: Logger()\ncnt -> log\n";
+  observe.tunnel = true;
+  s.policy.SetDefault(observe);
+  s.graph = learn::BuildAttackGraph(s.dep->registry(), {},
+                                    {{"plug", "window"}});
+  FillDevices(s);
+  return s;
+}
+
+bool BuildScenario(const std::string& name, Scenario& s) {
   if (name == "smart_home") {
     s = BuildSmartHome();
   } else if (name == "quickstart") {
     s = BuildQuickstart();
   } else if (name == "fixture_uncovered") {
     s = BuildFixtureUncovered();
+  } else if (name == "fixture_ota") {
+    s = BuildFixtureOta();
   } else {
     std::fprintf(stderr, "iotsec_lint: unknown scenario '%s'\n",
                  name.c_str());
     return false;
   }
+  return true;
+}
+
+verify::ModelCheckInput ModelInputFor(const Scenario& s,
+                                      std::vector<std::string> extra) {
+  verify::ModelCheckInput in;
+  in.space = &s.space;
+  in.policy = &s.policy;
+  in.attack_graph = &s.graph;
+  in.devices = s.devices;
+  in.device_names = s.names;
+  in.extra_rule_texts = std::move(extra);
+  return in;
+}
+
+struct ScenarioModes {
+  bool model_check = false;
+  bool diff = false;
+  std::string diff_base;  // crowd/OTA rule text spliced into the base run
+  std::string diff_next;  // ... and into the next run
+  verify::ModelCheckCache* cache = nullptr;
+};
+
+bool RunScenario(const std::string& name, const ScenarioModes& modes,
+                 verify::Report& report) {
+  Scenario s;
+  if (!BuildScenario(name, s)) return false;
+
+  if (modes.diff) {
+    // Differential mode: regressions between the two rule versions only —
+    // the rule-based passes would report the same absolute findings for
+    // both sides, which is exactly the noise a diff gate must not emit.
+    const auto base = ModelInputFor(s, {modes.diff_base});
+    const auto next = ModelInputFor(s, {modes.diff_next});
+    verify::Report unit;
+    verify::DiffVerify(base, next, "model diff", unit, modes.cache);
+    unit.Finalize();
+    Merge(unit, "scenario " + name, report);
+    return true;
+  }
+
   verify::VerifyInput in;
   in.space = &s.space;
   in.policy = &s.policy;
@@ -262,7 +346,24 @@ bool RunScenario(const std::string& name, verify::Report& report) {
   limits.pool_capacity = opt.admission.pool_capacity;
   in.limits = limits;
   Merge(verify::Verify(in), "scenario " + name, report);
+
+  if (modes.model_check) {
+    verify::Report unit;
+    (void)verify::RunModelCheck(ModelInputFor(s, {}), "model", unit,
+                                modes.cache);
+    unit.Finalize();
+    Merge(unit, "scenario " + name, report);
+  }
   return true;
+}
+
+int ListRules() {
+  for (const auto& info : verify::FindingCatalogue()) {
+    std::printf("%s  %-5s  %s\n", std::string(info.code).c_str(),
+                verify::SeverityName(info.severity),
+                std::string(info.summary).c_str());
+  }
+  return 0;
 }
 
 int Usage() {
@@ -271,8 +372,12 @@ int Usage() {
       "usage: iotsec_lint [--graph FILE]... [--rules FILE]...\n"
       "                   [--policy FILE]... [--rollout-plan FILE]...\n"
       "                   [--scenario smart_home|quickstart|"
-      "fixture_uncovered|all]\n"
-      "                   [--json FILE] [--format text|json] [--werror]\n");
+      "fixture_uncovered|fixture_ota|all]\n"
+      "                   [--model-check] [--diff BASE NEXT]"
+      " [--mc-cache FILE]\n"
+      "                   [--baseline FILE] [--write-baseline FILE]\n"
+      "                   [--json FILE] [--format text|json] [--werror]\n"
+      "       iotsec_lint --list-rules\n");
   return 2;
 }
 
@@ -282,14 +387,23 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> inputs;  // kind, value
   std::string json_path;
   std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string mc_cache_path;
+  std::string diff_base_path;
+  std::string diff_next_path;
   bool werror = false;
+  bool model_check = false;
+  bool diff = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--graph" || arg == "--rules" || arg == "--policy" ||
+    if (arg == "--list-rules") {
+      return ListRules();
+    } else if (arg == "--graph" || arg == "--rules" || arg == "--policy" ||
         arg == "--rollout-plan" || arg == "--scenario") {
       const char* v = value();
       if (!v) return Usage();
@@ -305,11 +419,56 @@ int main(int argc, char** argv) {
       format = v;
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--model-check") {
+      model_check = true;
+    } else if (arg == "--diff") {
+      const char* base = value();
+      const char* next = value();
+      if (!base || !next) return Usage();
+      diff = true;
+      diff_base_path = base;
+      diff_next_path = next;
+    } else if (arg == "--mc-cache") {
+      const char* v = value();
+      if (!v) return Usage();
+      mc_cache_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = value();
+      if (!v) return Usage();
+      baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = value();
+      if (!v) return Usage();
+      write_baseline_path = v;
     } else {
       return Usage();
     }
   }
   if (inputs.empty()) return Usage();
+
+  ScenarioModes modes;
+  modes.model_check = model_check;
+  verify::ModelCheckCache cache;
+  modes.cache = &cache;
+  if (!mc_cache_path.empty()) {
+    // Best-effort warm start: a missing or corrupt cache file is just a
+    // cold cache — never an error, never a wrong result.
+    std::string text;
+    if (ReadFile(mc_cache_path, text)) (void)cache.Deserialize(text);
+  }
+  if (diff) {
+    modes.diff = true;
+    if (!ReadFile(diff_base_path, modes.diff_base)) {
+      std::fprintf(stderr, "iotsec_lint: cannot read %s\n",
+                   diff_base_path.c_str());
+      return 2;
+    }
+    if (!ReadFile(diff_next_path, modes.diff_next)) {
+      std::fprintf(stderr, "iotsec_lint: cannot read %s\n",
+                   diff_next_path.c_str());
+      return 2;
+    }
+  }
 
   verify::Report report;
   for (const auto& [kind, value] : inputs) {
@@ -338,14 +497,48 @@ int main(int argc, char** argv) {
       verify::LintRolloutPlan(text, "rollout plan " + value, report);
     } else if (kind == "scenario") {
       if (value == "all") {
-        if (!RunScenario("smart_home", report)) return 2;
-        if (!RunScenario("quickstart", report)) return 2;
-      } else if (!RunScenario(value, report)) {
+        if (!RunScenario("smart_home", modes, report)) return 2;
+        if (!RunScenario("quickstart", modes, report)) return 2;
+      } else if (!RunScenario(value, modes, report)) {
         return 2;
       }
     }
   }
   report.Finalize();
+
+  if (!mc_cache_path.empty()) {
+    std::ofstream out(mc_cache_path, std::ios::binary);
+    if (out) out << cache.Serialize();
+    std::fprintf(stderr, "iotsec_lint: model-check cache: %llu hit(s), "
+                 "%llu miss(es), %zu entr%s\n",
+                 static_cast<unsigned long long>(cache.hits()),
+                 static_cast<unsigned long long>(cache.misses()),
+                 cache.size(), cache.size() == 1 ? "y" : "ies");
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "iotsec_lint: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << verify::FormatBaseline(report);
+  }
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(baseline_path, text)) {
+      std::fprintf(stderr, "iotsec_lint: cannot read %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    const std::size_t suppressed =
+        report.SuppressBaseline(verify::ParseBaseline(text));
+    if (suppressed > 0) {
+      std::fprintf(stderr, "iotsec_lint: %zu finding(s) suppressed by "
+                   "baseline %s\n", suppressed, baseline_path.c_str());
+    }
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary);
